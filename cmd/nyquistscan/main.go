@@ -1,0 +1,139 @@
+// Command nyquistscan audits a monitoring trace: it reads timestamp,value
+// CSV from a file or stdin, estimates the signal's Nyquist rate with the
+// paper's method (§3.2), and reports how much the current collection rate
+// could be reduced.
+//
+// Usage:
+//
+//	nyquistscan [-cutoff 0.99] [-welch] [-window 6h -step 5m] [file.csv]
+//
+// With -window the trace is additionally scanned with a moving window
+// (Fig. 7 style) and the per-window rates are printed.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/fleet"
+	"repro/internal/trace"
+	"repro/nyquist"
+)
+
+func main() {
+	var (
+		cutoff  = flag.Float64("cutoff", nyquist.DefaultEnergyCutoff, "energy fraction cut-off")
+		welch   = flag.Bool("welch", false, "use Welch averaging (noise-robust)")
+		window  = flag.Duration("window", 0, "moving-window length (0 = whole trace only)")
+		step    = flag.Duration("step", 5*time.Minute, "moving-window step")
+		counter = flag.Bool("counter", false, "treat the trace as a cumulative counter (difference into a rate first)")
+		linear  = flag.Bool("lineardetrend", false, "remove a least-squares line instead of the mean (robust for short windows)")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	name := "stdin"
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+		name = flag.Arg(0)
+	}
+	s, err := trace.ReadCSV(in)
+	if err != nil {
+		fatal(err)
+	}
+	u, err := s.RegularizeAuto()
+	if err != nil {
+		fatal(fmt.Errorf("regularize: %w", err))
+	}
+	if *counter {
+		u, err = fleet.RateFromCounter(u)
+		if err != nil {
+			fatal(fmt.Errorf("counter differencing: %w", err))
+		}
+		fmt.Println("counter mode: analyzing the differenced rate signal")
+	}
+	detrend := nyquist.DetrendMean
+	if *linear {
+		detrend = nyquist.DetrendLinear
+	}
+	est, err := nyquist.NewEstimator(nyquist.EstimatorConfig{EnergyCutoff: *cutoff, Welch: *welch, Detrend: detrend})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("trace: %s (%d samples, interval %v, rate %.4g Hz)\n",
+		name, u.Len(), u.Interval, u.SampleRate())
+	if gaps, err := s.Gaps(0); err == nil && len(gaps) > 0 {
+		fmt.Printf("gaps: %d (largest %v) — filled by nearest-neighbour re-sampling\n",
+			len(gaps), largestGap(gaps))
+	}
+	if q := nyquist.EstimateStep(u.Values); q > 0 {
+		fmt.Printf("quantization step: %.4g\n", q)
+	}
+
+	res, err := est.Estimate(u)
+	switch {
+	case errors.Is(err, nyquist.ErrAliased):
+		fmt.Println("verdict: ALIASED — the trace appears under-sampled; the Nyquist rate cannot be")
+		fmt.Println("recovered from it (the paper records -1). Increase the collection rate and re-scan.")
+	case err != nil:
+		fatal(err)
+	default:
+		fmt.Printf("nyquist rate: %.4g Hz (cut-off frequency %.4g Hz, %.2f%% energy captured)\n",
+			res.NyquistRate, res.CutoffFreq, 100*res.EnergyCaptured)
+		fmt.Printf("possible reduction: %.1fx (sampling every %v would suffice)\n",
+			res.ReductionRatio, rateToInterval(res.NyquistRate))
+		if res.ReductionRatio < 1.2 {
+			fmt.Println("note: the current rate is close to the requirement; keep it.")
+		}
+	}
+
+	if *window > 0 {
+		wins, err := est.MovingWindow(u, *window, *step)
+		if err != nil {
+			fatal(fmt.Errorf("moving window: %w", err))
+		}
+		fmt.Printf("\nmoving-window scan (%v window, %v step):\n", *window, *step)
+		for _, w := range wins {
+			switch {
+			case errors.Is(w.Err, nyquist.ErrAliased):
+				fmt.Printf("  %s  aliased\n", w.WindowStart.Format(time.RFC3339))
+			case w.Err != nil:
+				fmt.Printf("  %s  error: %v\n", w.WindowStart.Format(time.RFC3339), w.Err)
+			default:
+				fmt.Printf("  %s  %.4g Hz\n", w.WindowStart.Format(time.RFC3339), w.Result.NyquistRate)
+			}
+		}
+	}
+}
+
+func largestGap(gaps []nyquist.Gap) time.Duration {
+	var max time.Duration
+	for _, g := range gaps {
+		if g.Length() > max {
+			max = g.Length()
+		}
+	}
+	return max
+}
+
+func rateToInterval(rate float64) time.Duration {
+	if rate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(time.Second) / rate).Round(time.Second)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nyquistscan:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,16 @@
+// Package repro reproduces "Towards a Cost vs. Quality Sweet Spot for
+// Monitoring Networks" (HotNets 2021): treating periodically polled
+// datacenter metrics as sampled signals and using the Nyquist-Shannon
+// theorem to choose measurement rates.
+//
+// Import the public APIs instead of this package:
+//
+//   - repro/nyquist — estimation, aliasing detection, adaptive sampling,
+//     reconstruction (the paper's contribution)
+//   - repro/fleet — the synthetic datacenter, monitoring pipeline, and
+//     the drivers that regenerate every figure of the evaluation
+//
+// The benchmarks in this package (bench_test.go) regenerate each paper
+// figure under the Go benchmark harness; see EXPERIMENTS.md for
+// paper-versus-measured results and DESIGN.md for the system inventory.
+package repro

@@ -1,0 +1,95 @@
+// Adaptive: watch the §4.2 dynamic sampling loop ride out a link flap.
+//
+// A switch port's FCS-error rate is normally a slow signal, but a failing
+// transceiver makes it oscillate fast for a couple of hours. A static
+// poller either wastes samples forever (fast rate) or misses the incident
+// (slow rate). The adaptive loop starts slow, detects aliasing with
+// dual-rate probes the moment the flap begins, multiplicatively probes up,
+// and decays back once the link heals.
+//
+// Run with: go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/fleet"
+	"repro/nyquist"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(99))
+	dev, err := fleet.NewDevice("switch42/fcs", fleet.FCSErrors, 1e-4, 30*time.Second, rng, 4242)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const day = 86400.0
+	// The flap: two hours of 0.004 Hz oscillation starting at hour 8.
+	dev.AddBurst(fleet.Burst{Start: 8 * 3600, Duration: 2 * 3600, Freq: 4e-3, Amp: 60})
+
+	sampler, err := nyquist.NewAdaptiveSampler(nyquist.AdaptiveConfig{
+		InitialRate:   1.0 / 300, // start at one poll per 5 minutes
+		MaxRate:       1.0 / 10,
+		EpochDuration: 3600, // re-decide hourly
+		DecreaseAfter: 2,
+		Memory:        false,
+		Estimator:     nyquist.EstimatorConfig{EnergyCutoff: 0.90},
+		// Hour-long windows of a diurnal signal see less than one cycle,
+		// so their spectra are mostly trend leakage; a looser tolerance
+		// keeps that from reading as aliasing between the two rates.
+		Detector: nyquist.DualRateConfig{Tolerance: 0.25},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := sampler.Run(dev, 0, day)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("hour  mode       rate        verdict   next rate")
+	for _, e := range run.Epochs {
+		marker := ""
+		if e.Start >= 8*3600 && e.Start < 10*3600 {
+			marker = "   <- flap in progress"
+		}
+		fmt.Printf("%4.0f  %-9s  %-10s  %-8s  %-10s%s\n",
+			e.Start/3600, e.Mode, rate(e.Rate), verdict(e.Aliased), rate(e.NextRate), marker)
+	}
+
+	// The honest comparison: a static poller that must CATCH the flap has
+	// to run at the peak rate all day; the adaptive poller pays it only
+	// while needed.
+	peak := 0.0
+	for _, e := range run.Epochs {
+		if e.Rate > peak {
+			peak = e.Rate
+		}
+	}
+	fmt.Printf("\ntotal samples spent: %d\n", run.TotalSamples)
+	fmt.Printf("static poller provisioned for the flap (%.3g Hz all day): %d samples\n",
+		peak, int(day*peak))
+	fmt.Printf("peak requirement remembered: %.3g Hz\n", run.MaxNyquistSeen)
+	fmt.Println(strings.Repeat("-", 60))
+	fmt.Println("The rate trace shows the §4.2 lifecycle: probe at startup, converge")
+	fmt.Println("low, spike with the incident (dual-rate probes caught the aliasing),")
+	fmt.Println("then decay once the line quiets down.")
+}
+
+func rate(r float64) string {
+	if r <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("1/%.0fs", 1/r)
+}
+
+func verdict(aliased bool) string {
+	if aliased {
+		return "ALIASED"
+	}
+	return "clean"
+}

@@ -1,0 +1,71 @@
+// Dualrate: see the §4.1 aliasing detector work — and see its blind spot.
+//
+// Sampling a signal at one rate cannot tell you whether you are aliasing:
+// the folded spectrum looks like a perfectly plausible slow signal. Penny
+// et al.'s trick (paper §4.1) is to sample at TWO rates whose ratio is not
+// an integer; content above the slower Nyquist limit folds to different
+// image frequencies in the two spectra, so comparing them exposes it.
+//
+// This example probes a signal with a hidden 0.9 Hz component using slow
+// rates from 0.5 Hz to 3 Hz and prints the verdicts, then demonstrates why
+// the non-integer-ratio condition matters.
+//
+// Run with: go run ./examples/dualrate
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math"
+
+	"repro/nyquist"
+)
+
+func main() {
+	// The monitored signal: slow 0.05 Hz baseline plus a hidden fast
+	// 0.9 Hz component (true Nyquist rate: 1.8 Hz).
+	signal := nyquist.SamplerFunc(func(t float64) float64 {
+		return 10 + 4*math.Sin(2*math.Pi*0.05*t) + 3*math.Sin(2*math.Pi*0.9*t)
+	})
+	const trueNyquist = 1.8
+
+	det := nyquist.NewDualRateDetector(nyquist.DualRateConfig{})
+	const fast = 7.3 // companion rate, above everything
+
+	fmt.Println("slow rate  ground truth  detector verdict  divergence")
+	for _, slow := range []float64{0.53, 0.97, 1.31, 1.51, 2.17, 3.01} {
+		v, _, err := det.Probe(signal, 0, 120, fast, slow)
+		if err != nil {
+			log.Fatalf("probe at %v Hz: %v", slow, err)
+		}
+		truth := "aliases"
+		if slow >= trueNyquist {
+			truth = "safe"
+		}
+		fmt.Printf("%6.2f Hz  %-12s  %-16s  %.3f\n", slow, truth, verdict(v), v.Score)
+	}
+
+	// The blind spot: an integer rate ratio folds content onto the SAME
+	// bins in both spectra, so the comparison sees nothing. The library
+	// refuses the pair outright.
+	fmt.Println()
+	if _, _, err := det.Probe(signal, 0, 120, fast, fast/4); errors.Is(err, nyquist.ErrRateRatio) {
+		fmt.Printf("probing at %.3g and %.3g Hz rejected: %v\n", fast, fast/4, err)
+	}
+	safe := nyquist.SuggestSlowRate(fast)
+	fmt.Printf("suggested companion for %.3g Hz: %.3g Hz (golden-ratio spacing)\n", fast, safe)
+	if err := nyquist.ValidateRatePair(fast, safe); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nIn the adaptive loop (§4.2) this check runs every epoch: one detection")
+	fmt.Println("costs ~2x samples for that window, which the >2x average over-sampling")
+	fmt.Println("the paper measured more than pays back.")
+}
+
+func verdict(v *nyquist.Verdict) string {
+	if v.Aliased {
+		return "ALIASED"
+	}
+	return "clean"
+}

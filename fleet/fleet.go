@@ -1,0 +1,264 @@
+// Package fleet is the public API of the synthetic-datacenter simulation:
+// a deterministic population of monitored devices with known ground-truth
+// Nyquist rates, the monitoring pipeline (pollers, store, cost model) that
+// measures them, and the drivers that regenerate every figure of the
+// paper's evaluation.
+//
+// The simulation substitutes for the paper's proprietary production traces
+// (see DESIGN.md); its per-metric Nyquist-rate distributions are
+// calibrated to the ranges the paper reports, so censuses over the fleet
+// reproduce the shape of Figs. 1, 4 and 5.
+package fleet
+
+import (
+	"repro/internal/dcsim"
+	"repro/internal/experiments"
+	"repro/internal/monitor"
+)
+
+// Re-exported simulation types.
+type (
+	// Device is one simulated metric/device pair.
+	Device = dcsim.Device
+	// Metric identifies a metric family (Fig. 5's fourteen).
+	Metric = dcsim.Metric
+	// Profile describes a metric family's statistical character.
+	Profile = dcsim.Profile
+	// Fleet is a deterministic device population.
+	Fleet = dcsim.Fleet
+	// FleetConfig parameterizes fleet generation.
+	FleetConfig = dcsim.FleetConfig
+	// Burst is a transient high-frequency event (link flap, incident).
+	Burst = dcsim.Burst
+	// BandLimited is a strictly band-limited test signal.
+	BandLimited = dcsim.BandLimited
+)
+
+// The fourteen metric families of the paper's Fig. 5.
+const (
+	OutboundDiscards = dcsim.OutboundDiscards
+	UnicastDrops     = dcsim.UnicastDrops
+	MulticastDrops   = dcsim.MulticastDrops
+	MulticastBytes   = dcsim.MulticastBytes
+	UnicastBytes     = dcsim.UnicastBytes
+	InboundDiscards  = dcsim.InboundDiscards
+	MemoryUsage      = dcsim.MemoryUsage
+	PeakEgressBW     = dcsim.PeakEgressBW
+	PeakIngressBW    = dcsim.PeakIngressBW
+	LinkUtil         = dcsim.LinkUtil
+	LossyPaths       = dcsim.LossyPaths
+	CPUUtil5pct      = dcsim.CPUUtil5pct
+	Temperature      = dcsim.Temperature
+	FCSErrors        = dcsim.FCSErrors
+)
+
+// NumMetrics is the number of metric families.
+const NumMetrics = dcsim.NumMetrics
+
+// DiurnalFreq is one cycle per day in hertz.
+const DiurnalFreq = dcsim.DiurnalFreq
+
+// Day is the paper's per-datapoint trace length.
+const Day = dcsim.Day
+
+// NewFleet builds the synthetic datacenter population.
+var NewFleet = dcsim.NewFleet
+
+// NewDevice builds a single simulated device.
+var NewDevice = dcsim.NewDevice
+
+// NewBandLimited builds a band-limited test signal.
+var NewBandLimited = dcsim.NewBandLimited
+
+// NewHarmonicSeries builds a diurnal-harmonic test signal.
+var NewHarmonicSeries = dcsim.NewHarmonicSeries
+
+// AllMetrics returns every metric family in Fig. 5 order.
+var AllMetrics = dcsim.AllMetrics
+
+// ProfileFor returns a metric family's profile.
+var ProfileFor = dcsim.ProfileFor
+
+// Re-exported monitoring-pipeline types.
+type (
+	// Store is a concurrency-safe in-memory time-series database.
+	Store = monitor.Store
+	// StaticPoller samples at a fixed interval (today's practice).
+	StaticPoller = monitor.StaticPoller
+	// AdaptivePoller samples with the paper's dynamic method (§4.2).
+	AdaptivePoller = monitor.AdaptivePoller
+	// AdaptiveResult reports an adaptive polling run.
+	AdaptiveResult = monitor.AdaptiveResult
+	// CostModel prices samples through the pipeline.
+	CostModel = monitor.CostModel
+	// Cost is an accumulated resource bill.
+	Cost = monitor.Cost
+	// Comparison is a static-versus-adaptive head-to-head.
+	Comparison = monitor.Comparison
+	// CompareConfig parameterizes Compare.
+	CompareConfig = monitor.CompareConfig
+)
+
+// Re-exported budget-allocation types (the title's cost/quality trade).
+type (
+	// Demand is one metric's sampling requirement.
+	Demand = monitor.Demand
+	// Allocation is the budgeter's decision for one metric.
+	Allocation = monitor.Allocation
+	// Plan is a complete budget allocation.
+	Plan = monitor.Plan
+	// FrontierPoint is one point of the cost/quality curve.
+	FrontierPoint = monitor.FrontierPoint
+)
+
+// Archiver implements the paper's a-posteriori path: poll fast, estimate
+// per window, store only Nyquist-rate samples (§4).
+type Archiver = monitor.Archiver
+
+// ArchiverConfig parameterizes an Archiver.
+type ArchiverConfig = monitor.ArchiverConfig
+
+// NewArchiver returns an archiver writing to a store.
+var NewArchiver = monitor.NewArchiver
+
+// Manager runs adaptive sampling over a fleet concurrently.
+type Manager = monitor.Manager
+
+// ManagerConfig parameterizes a Manager.
+type ManagerConfig = monitor.ManagerConfig
+
+// ManagedTarget is one fleet member under adaptive control.
+type ManagedTarget = monitor.ManagedTarget
+
+// FleetReport aggregates a fleet-wide adaptive run.
+type FleetReport = monitor.FleetReport
+
+// NewManager validates a config and returns a fleet manager.
+var NewManager = monitor.NewManager
+
+// RateFromCounter differences a cumulative counter trace into the rate
+// signal spectral analysis operates on.
+var RateFromCounter = dcsim.RateFromCounter
+
+// Allocate distributes a global sample budget across metric demands.
+var Allocate = monitor.Allocate
+
+// Frontier sweeps the budget and returns the cost/quality curve whose
+// knee is the sweet spot.
+var Frontier = monitor.Frontier
+
+// NewStore returns an empty time-series store.
+var NewStore = monitor.NewStore
+
+// DefaultCostModel returns the standard sample pricing.
+var DefaultCostModel = monitor.DefaultCostModel
+
+// Compare runs static and adaptive pollers head-to-head.
+var Compare = monitor.Compare
+
+// Pipeline errors.
+var (
+	// ErrNoSeries marks queries for unknown series.
+	ErrNoSeries = monitor.ErrNoSeries
+	// ErrStoreFull marks writes beyond a bounded store's capacity.
+	ErrStoreFull = monitor.ErrStoreFull
+)
+
+// Re-exported experiment drivers (one per paper figure; each result has a
+// Render method producing the text form recorded in EXPERIMENTS.md).
+type (
+	// ExperimentConfig parameterizes the fleet-census experiments.
+	ExperimentConfig = experiments.FleetConfig
+	// Fig1Result is the over-sampling census (Fig. 1).
+	Fig1Result = experiments.Fig1Result
+	// Fig2Result is the aliasing-geometry demonstration (Fig. 2).
+	Fig2Result = experiments.Fig2Result
+	// Fig3Result is the two-tone aliasing demonstration (Fig. 3).
+	Fig3Result = experiments.Fig3Result
+	// Fig4Result is the reduction-ratio CDFs (Fig. 4).
+	Fig4Result = experiments.Fig4Result
+	// Fig5Result is the per-metric Nyquist box plot (Fig. 5).
+	Fig5Result = experiments.Fig5Result
+	// Fig6Result is the temperature round trip (Fig. 6).
+	Fig6Result = experiments.Fig6Result
+	// Fig7Result is the moving-window rate scan (Fig. 7).
+	Fig7Result = experiments.Fig7Result
+)
+
+// RunFig1 regenerates Figure 1.
+var RunFig1 = experiments.RunFig1
+
+// RunFig2 regenerates Figure 2's demonstration.
+var RunFig2 = experiments.RunFig2
+
+// RunFig3 regenerates Figure 3.
+var RunFig3 = experiments.RunFig3
+
+// RunFig4 regenerates Figure 4.
+var RunFig4 = experiments.RunFig4
+
+// RunFig5 regenerates Figure 5.
+var RunFig5 = experiments.RunFig5
+
+// RunFig6 regenerates Figure 6.
+var RunFig6 = experiments.RunFig6
+
+// RunFig7 regenerates Figure 7.
+var RunFig7 = experiments.RunFig7
+
+// RunDualRate regenerates the §4.1 detector sweep.
+var RunDualRate = experiments.RunDualRate
+
+// RunAdaptive regenerates the §4.2 static-versus-adaptive comparison.
+var RunAdaptive = experiments.RunAdaptive
+
+// RunCutoffAblation sweeps the energy cut-off (DESIGN.md choice 1).
+var RunCutoffAblation = experiments.RunCutoffAblation
+
+// RunBudgetFrontier traces the fleet-wide cost/quality frontier (the
+// title experiment).
+var RunBudgetFrontier = experiments.RunBudgetFrontier
+
+// RunErgodicity measures fleet ergodicity and canary horizons (§6).
+var RunErgodicity = experiments.RunErgodicity
+
+// RunWindowAblation sweeps the analysis window length (resolution floor).
+var RunWindowAblation = experiments.RunWindowAblation
+
+// BudgetFrontierResult is the cost/quality frontier data.
+type BudgetFrontierResult = experiments.BudgetFrontierResult
+
+// ErgodicityResult is the §6 ergodicity exploration data.
+type ErgodicityResult = experiments.ErgodicityResult
+
+// WindowAblation is the window-length sweep data.
+type WindowAblation = experiments.WindowAblation
+
+// RunMemoryAblation compares the §4.2 adaptive loop with and without
+// requirement memory on recurring fast episodes.
+var RunMemoryAblation = experiments.RunMemoryAblation
+
+// MemoryAblation is the §4.2 memory ablation data.
+type MemoryAblation = experiments.MemoryAblation
+
+// RunEstimatorAblation scores estimator variants against ground truth.
+var RunEstimatorAblation = experiments.RunEstimatorAblation
+
+// EstimatorAblation is the estimator-variant comparison data.
+type EstimatorAblation = experiments.EstimatorAblation
+
+// RunHeadroomAblation sweeps §4.2's headroom factor against a
+// first-of-its-kind event.
+var RunHeadroomAblation = experiments.RunHeadroomAblation
+
+// HeadroomAblation is the headroom sweep data.
+type HeadroomAblation = experiments.HeadroomAblation
+
+// FlapTrain builds the bursts of a periodically recurring event.
+var FlapTrain = dcsim.FlapTrain
+
+// Fig6Config parameterizes the Fig. 6 experiment.
+type Fig6Config = experiments.Fig6Config
+
+// Fig7Config parameterizes the Fig. 7 experiment.
+type Fig7Config = experiments.Fig7Config

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// The paper's "Beyond Nyquist" future work (§6) asks whether fleet
+// telemetry is ergodic: are the statistics of one device observed over a
+// long window the same as the statistics of the whole fleet observed at
+// one instant? Operators assume so implicitly whenever they canary a
+// change on a few machines and extrapolate. This file makes the question
+// measurable: a Kolmogorov-Smirnov comparison of the temporal
+// distribution of each device against the ensemble distribution, plus the
+// derived answer to "how long must I observe a canary?".
+
+// KSDistance returns the two-sample Kolmogorov-Smirnov statistic — the
+// maximum absolute difference between the empirical CDFs of a and b — in
+// [0, 1]. Zero means identical distributions.
+func KSDistance(a, b []float64) (float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, errors.New("core: KS distance needs non-empty samples")
+	}
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+	var d float64
+	i, j := 0, 0
+	for i < len(sa) && j < len(sb) {
+		// Advance both sides through the smallest pending value so ties
+		// are consumed together; comparing mid-tie would report a
+		// spurious CDF gap.
+		x := sa[i]
+		if sb[j] < x {
+			x = sb[j]
+		}
+		for i < len(sa) && sa[i] == x {
+			i++
+		}
+		for j < len(sb) && sb[j] == x {
+			j++
+		}
+		fa := float64(i) / float64(len(sa))
+		fb := float64(j) / float64(len(sb))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	return d, nil
+}
+
+// ErgodicityReport summarizes how well time averages substitute for
+// ensemble averages across a set of same-metric signals.
+type ErgodicityReport struct {
+	// PerDevice[i] is the KS distance between device i's temporal
+	// distribution and the pooled ensemble distribution.
+	PerDevice []float64
+	// MeanKS and MaxKS aggregate PerDevice.
+	MeanKS, MaxKS float64
+	// ErgodicFraction is the share of devices whose KS distance is at
+	// or below the threshold used by Ergodic.
+	ErgodicFraction float64
+	// Threshold is the KS acceptance bound used.
+	Threshold float64
+}
+
+// Ergodic reports whether the set behaves ergodically at the threshold.
+func (r *ErgodicityReport) Ergodic() bool {
+	return r.ErgodicFraction >= 0.9
+}
+
+// MeasureErgodicity compares each device's sample distribution against
+// the pooled ensemble. signals[i] holds device i's samples over the
+// observation window (equal sampling assumed). threshold <= 0 selects
+// 0.1, a conventional "close enough for canarying" bound.
+func MeasureErgodicity(signals [][]float64, threshold float64) (*ErgodicityReport, error) {
+	if len(signals) < 2 {
+		return nil, errors.New("core: ergodicity needs at least two devices")
+	}
+	if threshold <= 0 {
+		threshold = 0.1
+	}
+	var pooled []float64
+	for _, s := range signals {
+		if len(s) == 0 {
+			return nil, errors.New("core: empty device signal")
+		}
+		pooled = append(pooled, s...)
+	}
+	rep := &ErgodicityReport{Threshold: threshold}
+	ok := 0
+	for _, s := range signals {
+		d, err := KSDistance(s, pooled)
+		if err != nil {
+			return nil, err
+		}
+		rep.PerDevice = append(rep.PerDevice, d)
+		rep.MeanKS += d
+		if d > rep.MaxKS {
+			rep.MaxKS = d
+		}
+		if d <= threshold {
+			ok++
+		}
+	}
+	rep.MeanKS /= float64(len(signals))
+	rep.ErgodicFraction = float64(ok) / float64(len(signals))
+	return rep, nil
+}
+
+// CanaryHorizon answers the paper's operational question: how long must a
+// single canary device be observed before its time statistics match the
+// ensemble? It grows the observation prefix of the canary's samples until
+// the KS distance to the ensemble snapshot drops below threshold, and
+// returns the number of samples needed (or -1 if the full window never
+// converges — a non-ergodic device).
+func CanaryHorizon(canary []float64, ensemble []float64, threshold float64) (int, error) {
+	if len(canary) == 0 || len(ensemble) == 0 {
+		return 0, errors.New("core: canary horizon needs samples")
+	}
+	if threshold <= 0 {
+		threshold = 0.1
+	}
+	// Grow geometrically: KS of a short prefix is noisy anyway, and the
+	// scan stays O(n log n) overall.
+	for n := 8; ; n = n * 3 / 2 {
+		if n > len(canary) {
+			n = len(canary)
+		}
+		d, err := KSDistance(canary[:n], ensemble)
+		if err != nil {
+			return 0, err
+		}
+		if d <= threshold {
+			return n, nil
+		}
+		if n == len(canary) {
+			return -1, nil
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKSDistanceIdentical(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	d, err := KSDistance(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-12 {
+		t.Fatalf("KS(a, a) = %v, want 0", d)
+	}
+}
+
+func TestKSDistanceDisjoint(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	d, err := KSDistance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0.99 {
+		t.Fatalf("KS of disjoint supports = %v, want ~1", d)
+	}
+}
+
+func TestKSDistanceErrors(t *testing.T) {
+	if _, err := KSDistance(nil, []float64{1}); err == nil {
+		t.Fatal("empty sample should fail")
+	}
+}
+
+func TestKSDistanceBoundsProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		ca := cleanVals(a)
+		cb := cleanVals(b)
+		if len(ca) == 0 || len(cb) == 0 {
+			return true
+		}
+		d, err := KSDistance(ca, cb)
+		if err != nil {
+			return false
+		}
+		// Symmetric, bounded.
+		d2, _ := KSDistance(cb, ca)
+		return d >= 0 && d <= 1 && math.Abs(d-d2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func cleanVals(v []float64) []float64 {
+	out := make([]float64, 0, len(v))
+	for _, x := range v {
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func TestMeasureErgodicityHomogeneousFleet(t *testing.T) {
+	// Devices drawing from the same distribution: ergodic.
+	rng := rand.New(rand.NewSource(3))
+	signals := make([][]float64, 20)
+	for i := range signals {
+		s := make([]float64, 500)
+		for j := range s {
+			s[j] = rng.NormFloat64()
+		}
+		signals[i] = s
+	}
+	rep, err := MeasureErgodicity(signals, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ergodic() {
+		t.Fatalf("homogeneous fleet not ergodic: %+v", rep)
+	}
+	if rep.MeanKS > 0.08 {
+		t.Fatalf("mean KS = %v", rep.MeanKS)
+	}
+}
+
+func TestMeasureErgodicityHeterogeneousFleet(t *testing.T) {
+	// Half the devices run 10x hotter: canarying on one device would
+	// mislead — not ergodic.
+	rng := rand.New(rand.NewSource(4))
+	signals := make([][]float64, 20)
+	for i := range signals {
+		s := make([]float64, 500)
+		offset := 0.0
+		if i%2 == 0 {
+			offset = 10
+		}
+		for j := range s {
+			s[j] = offset + rng.NormFloat64()
+		}
+		signals[i] = s
+	}
+	rep, err := MeasureErgodicity(signals, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ergodic() {
+		t.Fatalf("bimodal fleet reported ergodic: mean KS %v", rep.MeanKS)
+	}
+	if rep.MaxKS < 0.3 {
+		t.Fatalf("max KS = %v, want large", rep.MaxKS)
+	}
+}
+
+func TestMeasureErgodicityErrors(t *testing.T) {
+	if _, err := MeasureErgodicity(nil, 0); err == nil {
+		t.Fatal("empty fleet should fail")
+	}
+	if _, err := MeasureErgodicity([][]float64{{1}}, 0); err == nil {
+		t.Fatal("single device should fail")
+	}
+	if _, err := MeasureErgodicity([][]float64{{1}, {}}, 0); err == nil {
+		t.Fatal("empty member should fail")
+	}
+}
+
+func TestCanaryHorizonConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ensemble := make([]float64, 2000)
+	for i := range ensemble {
+		ensemble[i] = rng.NormFloat64()
+	}
+	canary := make([]float64, 2000)
+	for i := range canary {
+		canary[i] = rng.NormFloat64()
+	}
+	n, err := CanaryHorizon(canary, ensemble, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 || n > 500 {
+		t.Fatalf("horizon = %d, want quick convergence for iid data", n)
+	}
+}
+
+func TestCanaryHorizonNeverConverges(t *testing.T) {
+	// Canary from a shifted distribution: no observation length helps.
+	rng := rand.New(rand.NewSource(6))
+	ensemble := make([]float64, 1000)
+	canary := make([]float64, 1000)
+	for i := range ensemble {
+		ensemble[i] = rng.NormFloat64()
+		canary[i] = 5 + rng.NormFloat64()
+	}
+	n, err := CanaryHorizon(canary, ensemble, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != -1 {
+		t.Fatalf("horizon = %d, want -1 (non-ergodic)", n)
+	}
+}
+
+func TestCanaryHorizonErrors(t *testing.T) {
+	if _, err := CanaryHorizon(nil, []float64{1}, 0); err == nil {
+		t.Fatal("empty canary should fail")
+	}
+}
+
+func TestDetrendModeString(t *testing.T) {
+	cases := map[DetrendMode]string{
+		DetrendMean:     "mean",
+		DetrendLinear:   "linear",
+		DetrendNone:     "none",
+		DetrendMode(42): "unknown",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", m, got, want)
+		}
+	}
+}
+
+func TestEstimatorLinearDetrendHelpsSubWindowTrend(t *testing.T) {
+	// Signal: strong sub-window drift (0.4 cycles/window) plus a weak
+	// fast tone. With mean removal the drift's leakage inflates the
+	// cut-off; linear detrending should bring the estimate down toward
+	// the fast tone's true requirement.
+	n := 4096
+	vals := make([]float64, n)
+	for i := range vals {
+		ph := float64(i) / float64(n)
+		vals[i] = 50*math.Sin(2*math.Pi*0.4*ph) + math.Sin(2*math.Pi*100*ph)
+	}
+	u := uniformFromSamples(vals, 1e9) // 1 sample/s
+	eMean, _ := NewEstimator(EstimatorConfig{Detrend: DetrendMean})
+	eLin, _ := NewEstimator(EstimatorConfig{Detrend: DetrendLinear})
+	rMean, err1 := eMean.Estimate(u)
+	rLin, err2 := eLin.Estimate(u)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("estimates failed: %v, %v", err1, err2)
+	}
+	if rLin.NyquistRate > rMean.NyquistRate {
+		t.Fatalf("linear detrend estimate %v above mean-removal estimate %v",
+			rLin.NyquistRate, rMean.NyquistRate)
+	}
+}
+
+func TestEstimatorDetrendNone(t *testing.T) {
+	e, err := NewEstimator(EstimatorConfig{Detrend: DetrendNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw analysis of a pure tone still works (DC bin is skipped).
+	res, err := e.Estimate(tone(1024, 1, 100, 16.0/1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * 16.0 / 1024
+	if math.Abs(res.NyquistRate-want) > 4.0/1024 {
+		t.Fatalf("NyquistRate = %v, want ~%v", res.NyquistRate, want)
+	}
+}

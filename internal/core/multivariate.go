@@ -1,0 +1,169 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/series"
+)
+
+// The paper's "Multivariate signals" future work (§6): applications often
+// consume several signals jointly, and their correlations matter. As long
+// as every signal is sampled at or above its own Nyquist rate, each can
+// be reconstructed exactly, so any joint statistic is preserved. This
+// file implements that group analysis: per-signal estimates, the joint
+// rate, and a verification that cross-correlations survive a group-rate
+// round trip.
+
+// GroupResult is the joint Nyquist analysis of a set of signals.
+type GroupResult struct {
+	// Names lists the analyzed signals.
+	Names []string
+	// PerSignal holds each signal's individual estimate (nil entries
+	// correspond to estimation errors recorded in Errs).
+	PerSignal []*Result
+	// Errs holds per-signal estimation errors (ErrAliased etc.).
+	Errs []error
+	// GroupRate is the rate at which the whole set must be sampled so
+	// every member stays above its Nyquist rate: the max over members.
+	GroupRate float64
+	// Driver is the index of the signal that determines GroupRate.
+	Driver int
+	// AnyAliased reports whether any member's rate is unrecoverable, in
+	// which case GroupRate covers only the measurable members.
+	AnyAliased bool
+}
+
+// EstimateGroup analyzes a set of equally sampled traces jointly.
+// The traces may have different lengths but must share one sample rate —
+// the common case of one poller scraping many counters at once.
+func (e *Estimator) EstimateGroup(names []string, traces []*series.Uniform) (*GroupResult, error) {
+	if len(traces) == 0 {
+		return nil, errors.New("core: empty signal group")
+	}
+	if len(names) != len(traces) {
+		return nil, fmt.Errorf("core: %d names for %d traces", len(names), len(traces))
+	}
+	g := &GroupResult{Names: append([]string(nil), names...), Driver: -1}
+	for i, u := range traces {
+		if u == nil {
+			return nil, fmt.Errorf("core: nil trace %q", names[i])
+		}
+	}
+	rate0 := traces[0].SampleRate()
+	for i, u := range traces {
+		if math.Abs(u.SampleRate()-rate0) > 1e-9*rate0 {
+			return nil, fmt.Errorf("core: trace %q rate %v differs from group rate %v", names[i], u.SampleRate(), rate0)
+		}
+		res, err := e.Estimate(u)
+		g.PerSignal = append(g.PerSignal, res)
+		g.Errs = append(g.Errs, err)
+		if err != nil || res == nil || res.Aliased {
+			g.AnyAliased = g.AnyAliased || errors.Is(err, ErrAliased)
+			continue
+		}
+		if res.NyquistRate > g.GroupRate {
+			g.GroupRate = res.NyquistRate
+			g.Driver = i
+		}
+	}
+	if g.Driver < 0 && !g.AnyAliased {
+		return nil, errors.New("core: no measurable signal in group")
+	}
+	return g, nil
+}
+
+// GroupReduction returns the common reduction ratio available when the
+// whole set is downsampled to GroupRate (0 when unmeasurable).
+func (g *GroupResult) GroupReduction() float64 {
+	if g.GroupRate <= 0 || g.Driver < 0 {
+		return 0
+	}
+	return g.PerSignal[g.Driver].SampleRate / g.GroupRate
+}
+
+// CrossCorrelation returns the zero-lag Pearson correlation between two
+// equally long signals — the joint statistic multivariate consumers care
+// about. NaN when either signal is constant.
+func CrossCorrelation(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, ErrLengthMismatch
+	}
+	if len(a) == 0 {
+		return 0, errors.New("core: empty signals")
+	}
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return math.NaN(), nil
+	}
+	return cov / math.Sqrt(va*vb), nil
+}
+
+// GroupRoundTrip downsamples every member to the group rate (with the
+// given headroom factor, >=1) and verifies that each signal reconstructs
+// and that every pairwise correlation is preserved within tol. It returns
+// the worst per-signal NRMSE and the worst absolute correlation drift —
+// the §6 claim made checkable.
+func GroupRoundTrip(traces []*series.Uniform, groupRate, headroom, tol float64) (worstNRMSE, worstCorrDrift float64, err error) {
+	if len(traces) == 0 {
+		return 0, 0, errors.New("core: empty signal group")
+	}
+	if headroom < 1 {
+		headroom = 1
+	}
+	target := groupRate * headroom
+	recs := make([][]float64, len(traces))
+	for i, u := range traces {
+		rec, fid, err := RoundTrip(u, target, ReconstructConfig{})
+		if err != nil {
+			return 0, 0, fmt.Errorf("core: group member %d: %w", i, err)
+		}
+		if fid.NRMSE > worstNRMSE {
+			worstNRMSE = fid.NRMSE
+		}
+		recs[i] = rec.Values
+	}
+	for i := 0; i < len(traces); i++ {
+		for j := i + 1; j < len(traces); j++ {
+			na, nb := len(traces[i].Values), len(traces[j].Values)
+			n := na
+			if nb < n {
+				n = nb
+			}
+			orig, err := CrossCorrelation(traces[i].Values[:n], traces[j].Values[:n])
+			if err != nil {
+				return 0, 0, err
+			}
+			rec, err := CrossCorrelation(recs[i][:n], recs[j][:n])
+			if err != nil {
+				return 0, 0, err
+			}
+			if math.IsNaN(orig) || math.IsNaN(rec) {
+				continue
+			}
+			if d := math.Abs(orig - rec); d > worstCorrDrift {
+				worstCorrDrift = d
+			}
+		}
+	}
+	if tol > 0 && worstCorrDrift > tol {
+		return worstNRMSE, worstCorrDrift,
+			fmt.Errorf("core: correlation drift %v exceeds tolerance %v", worstCorrDrift, tol)
+	}
+	return worstNRMSE, worstCorrDrift, nil
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/series"
+)
+
+func TestEstimateGroupDriver(t *testing.T) {
+	var e Estimator
+	// Three signals with bin-aligned content at 4, 20, and 10 cycles per
+	// window: the 20-cycle one must drive the group rate.
+	traces := []*series.Uniform{
+		tone(4096, 1, 0, 4.0/4096),
+		tone(4096, 1, 0, 20.0/4096),
+		tone(4096, 1, 0, 10.0/4096),
+	}
+	g, err := e.EstimateGroup([]string{"slow", "fast", "mid"}, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Driver != 1 {
+		t.Fatalf("driver = %d (%s), want 1 (fast)", g.Driver, g.Names[g.Driver])
+	}
+	want := 2 * 20.0 / 4096
+	if math.Abs(g.GroupRate-want) > 3.0/4096 {
+		t.Fatalf("group rate = %v, want ~%v", g.GroupRate, want)
+	}
+	if g.AnyAliased {
+		t.Fatal("clean group flagged aliased")
+	}
+	if red := g.GroupReduction(); red < 50 || red > 150 {
+		t.Fatalf("group reduction = %v, want ~100", red)
+	}
+}
+
+func TestEstimateGroupErrors(t *testing.T) {
+	var e Estimator
+	if _, err := e.EstimateGroup(nil, nil); err == nil {
+		t.Fatal("empty group should fail")
+	}
+	u := tone(1024, 1, 0, 0.01)
+	if _, err := e.EstimateGroup([]string{"a", "b"}, []*series.Uniform{u}); err == nil {
+		t.Fatal("name/trace mismatch should fail")
+	}
+	if _, err := e.EstimateGroup([]string{"a"}, []*series.Uniform{nil}); err == nil {
+		t.Fatal("nil trace should fail")
+	}
+	u2 := &series.Uniform{Start: refEpoch, Interval: 2 * time.Second, Values: u.Values}
+	if _, err := e.EstimateGroup([]string{"a", "b"}, []*series.Uniform{u, u2}); err == nil {
+		t.Fatal("mixed sample rates should fail")
+	}
+}
+
+func TestEstimateGroupWithAliasedMember(t *testing.T) {
+	var e Estimator
+	noise := make([]float64, 1024)
+	state := uint64(7)
+	for i := range noise {
+		state = state*6364136223846793005 + 1442695040888963407
+		noise[i] = float64(int64(state)) / math.MaxInt64
+	}
+	traces := []*series.Uniform{
+		tone(1024, 1, 0, 10.0/1024),
+		uniformFromSamples(noise, time.Second),
+	}
+	g, err := e.EstimateGroup([]string{"clean", "noisy"}, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.AnyAliased {
+		t.Fatal("white-noise member should mark the group aliased")
+	}
+	if !errors.Is(g.Errs[1], ErrAliased) {
+		t.Fatalf("member error = %v, want ErrAliased", g.Errs[1])
+	}
+	if g.Driver != 0 {
+		t.Fatalf("driver = %d, want the measurable member", g.Driver)
+	}
+}
+
+func TestCrossCorrelation(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{2, 4, 6, 8}
+	c, err := CrossCorrelation(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-1) > 1e-12 {
+		t.Fatalf("corr = %v, want 1", c)
+	}
+	neg := []float64{4, 3, 2, 1}
+	c, _ = CrossCorrelation(a, neg)
+	if math.Abs(c+1) > 1e-12 {
+		t.Fatalf("corr = %v, want -1", c)
+	}
+	if _, err := CrossCorrelation(a, []float64{1}); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := CrossCorrelation(nil, nil); err == nil {
+		t.Fatal("empty should fail")
+	}
+	c, _ = CrossCorrelation([]float64{5, 5}, []float64{1, 2})
+	if !math.IsNaN(c) {
+		t.Fatalf("constant input corr = %v, want NaN", c)
+	}
+}
+
+func TestGroupRoundTripPreservesCorrelation(t *testing.T) {
+	// Two phase-locked band-limited signals: correlations must survive a
+	// group-rate round trip (the §6 claim).
+	n := 4096
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		ph := 2 * math.Pi * 16 * float64(i) / float64(n)
+		a[i] = math.Sin(ph) + 0.5*math.Sin(2*ph)
+		b[i] = 0.8*math.Sin(ph+0.3) + 0.2*math.Sin(2*ph+1)
+	}
+	traces := []*series.Uniform{
+		uniformFromSamples(a, time.Second),
+		uniformFromSamples(b, time.Second),
+	}
+	groupRate := 2 * 32.0 / float64(n) // covers the 2nd harmonic of both
+	worstNRMSE, drift, err := GroupRoundTrip(traces, groupRate, 2, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worstNRMSE > 1e-6 {
+		t.Fatalf("worst NRMSE = %v, want ~0", worstNRMSE)
+	}
+	if drift > 1e-9 {
+		t.Fatalf("correlation drift = %v, want ~0", drift)
+	}
+}
+
+func TestGroupRoundTripDetectsViolation(t *testing.T) {
+	// Downsampling below a member's Nyquist rate must blow the
+	// correlation tolerance.
+	// The correlation-carrying content lives in the fast component:
+	// a = slow + fast, b = slow - fast are uncorrelated at full rate
+	// (equal powers cancel) but become perfectly correlated once the
+	// fast tone is lost to sub-Nyquist downsampling.
+	n := 4096
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		slow := math.Sin(2 * math.Pi * 4 * float64(i) / float64(n))
+		fast := math.Sin(2 * math.Pi * 200 * float64(i) / float64(n))
+		a[i] = slow + fast
+		b[i] = slow - fast
+	}
+	traces := []*series.Uniform{
+		uniformFromSamples(a, time.Second),
+		uniformFromSamples(b, time.Second),
+	}
+	// Group rate covers the slow tone only.
+	_, drift, err := GroupRoundTrip(traces, 2*8.0/float64(n), 1, 0.05)
+	if err == nil {
+		t.Fatalf("expected tolerance violation, drift = %v", drift)
+	}
+}
+
+func TestGroupRoundTripEmpty(t *testing.T) {
+	if _, _, err := GroupRoundTrip(nil, 1, 1, 0); err == nil {
+		t.Fatal("empty group should fail")
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"errors"
+	"math"
+)
+
+// Fidelity quantifies how well a reconstructed signal matches the original
+// — the paper's "quality" side of the cost/quality trade-off (Fig. 6 uses
+// the L2 distance).
+type Fidelity struct {
+	// L2 is the Euclidean distance between the two signals.
+	L2 float64
+	// RMSE is the root-mean-square error.
+	RMSE float64
+	// NRMSE is RMSE normalized by the original's range; NaN when the
+	// original is constant.
+	NRMSE float64
+	// MaxAbs is the worst-case pointwise error.
+	MaxAbs float64
+	// SNRdB is the signal-to-error ratio in decibels; +Inf for an exact
+	// match.
+	SNRdB float64
+	// SamplesBefore and SamplesAfter record the cost side when filled by
+	// RoundTrip: original and downsampled sample counts.
+	SamplesBefore, SamplesAfter int
+}
+
+// CostReduction returns SamplesBefore/SamplesAfter, the factor by which
+// the measurement volume shrank (0 when unset).
+func (f *Fidelity) CostReduction() float64 {
+	if f.SamplesAfter == 0 {
+		return 0
+	}
+	return float64(f.SamplesBefore) / float64(f.SamplesAfter)
+}
+
+// ErrLengthMismatch is returned when two signals being compared have
+// different lengths.
+var ErrLengthMismatch = errors.New("core: signals have different lengths")
+
+// CompareSignals computes fidelity metrics between an original signal and
+// its reconstruction. Both must have the same length.
+func CompareSignals(original, reconstructed []float64) (*Fidelity, error) {
+	if len(original) != len(reconstructed) {
+		return nil, ErrLengthMismatch
+	}
+	if len(original) == 0 {
+		return nil, errors.New("core: cannot compare empty signals")
+	}
+	var sumSqErr, sumSqSig, maxAbs float64
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range original {
+		d := original[i] - reconstructed[i]
+		sumSqErr += d * d
+		sumSqSig += original[i] * original[i]
+		if a := math.Abs(d); a > maxAbs {
+			maxAbs = a
+		}
+		if original[i] < lo {
+			lo = original[i]
+		}
+		if original[i] > hi {
+			hi = original[i]
+		}
+	}
+	n := float64(len(original))
+	f := &Fidelity{
+		L2:     math.Sqrt(sumSqErr),
+		RMSE:   math.Sqrt(sumSqErr / n),
+		MaxAbs: maxAbs,
+	}
+	if hi > lo {
+		f.NRMSE = f.RMSE / (hi - lo)
+	} else {
+		f.NRMSE = math.NaN()
+	}
+	if sumSqErr == 0 {
+		f.SNRdB = math.Inf(1)
+	} else if sumSqSig > 0 {
+		f.SNRdB = 10 * math.Log10(sumSqSig/sumSqErr)
+	}
+	return f, nil
+}

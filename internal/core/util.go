@@ -1,0 +1,17 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/series"
+)
+
+// refEpoch anchors synthetic uniform traces that have no wall-clock
+// meaning; only relative spacing matters to the estimator.
+var refEpoch = time.Date(2021, 11, 10, 0, 0, 0, 0, time.UTC)
+
+// uniformFromSamples wraps raw samples into a Uniform trace starting at
+// the reference epoch.
+func uniformFromSamples(x []float64, interval time.Duration) *series.Uniform {
+	return &series.Uniform{Start: refEpoch, Interval: interval, Values: x}
+}

@@ -1,0 +1,192 @@
+// Package dcsim is the synthetic datacenter substrate. The paper's
+// evaluation measures 1613 metric/device pairs of proprietary production
+// traces; dcsim replaces them with a deterministic fleet whose devices emit
+// band-limited signals with per-metric Nyquist-rate distributions
+// calibrated to the ranges the paper reports (Fig. 5), plus realistic
+// sensor quantization, measurement noise and ad-hoc production poll rates.
+// See DESIGN.md ("Substitutions") for why this preserves the evaluation's
+// shape.
+package dcsim
+
+import "time"
+
+// Metric identifies one of the 14 monitored metric families of the paper's
+// Fig. 5.
+type Metric int
+
+// The 14 metric families, in the order of the paper's Fig. 5 x-axis.
+const (
+	OutboundDiscards Metric = iota
+	UnicastDrops
+	MulticastDrops
+	MulticastBytes
+	UnicastBytes
+	InboundDiscards
+	MemoryUsage
+	PeakEgressBW
+	PeakIngressBW
+	LinkUtil
+	LossyPaths
+	CPUUtil5pct
+	Temperature
+	FCSErrors
+	numMetrics // sentinel
+)
+
+// NumMetrics is the number of metric families.
+const NumMetrics = int(numMetrics)
+
+// AllMetrics returns every metric family in Fig. 5 order.
+func AllMetrics() []Metric {
+	out := make([]Metric, NumMetrics)
+	for i := range out {
+		out[i] = Metric(i)
+	}
+	return out
+}
+
+// String returns the metric name as printed in the paper's figures.
+func (m Metric) String() string {
+	if int(m) < 0 || int(m) >= NumMetrics {
+		return "unknown"
+	}
+	return metricProfiles[m].Name
+}
+
+// Profile describes the statistical character of one metric family: the
+// range its per-device Nyquist rate is drawn from, the value range,
+// quantization, noise and the ad-hoc poll intervals production systems use
+// for it today.
+type Profile struct {
+	// Name is the display name (paper Fig. 4/5 labels).
+	Name string
+	// Unit is the measurement unit, for reports.
+	Unit string
+	// NyquistLo and NyquistHi bound the per-device true Nyquist rate in
+	// hertz; devices draw log-uniformly from this range. The temperature
+	// range is the one the paper states explicitly (7.99e-7 to 3e-3 Hz);
+	// the others are calibrated so the fleet reproduces Figs. 1, 4, 5.
+	NyquistLo, NyquistHi float64
+	// Base and Swing set the value range: signals move within
+	// Base +- Swing before quantization.
+	Base, Swing float64
+	// QuantStep is the sensor resolution (0 = unquantized).
+	QuantStep float64
+	// NoiseAmp is the white measurement-noise amplitude.
+	NoiseAmp float64
+	// PollIntervals is the set of ad-hoc production polling intervals
+	// from which a device's current interval is drawn (§3.1: defaults
+	// and gut feelings, typically 30 s to 15 min).
+	PollIntervals []time.Duration
+	// Counter marks metrics whose exported value is a cumulative count;
+	// the simulator still models the underlying *rate* signal, matching
+	// how the paper analyzes drop/discard counters after differencing.
+	Counter bool
+}
+
+// metricProfiles is indexed by Metric. Poll interval sets reflect common
+// collector defaults: fast SNMP counter polls (30/60 s), standard gauge
+// polls (60-300 s), and slow environmental polls (300-900 s).
+var metricProfiles = [NumMetrics]Profile{
+	OutboundDiscards: {
+		Name: "Out-bound discards", Unit: "pkts/s",
+		NyquistLo: 1e-6, NyquistHi: 2e-3,
+		Base: 50, Swing: 45, QuantStep: 1, NoiseAmp: 0.8,
+		PollIntervals: intervals(30, 30, 60, 300), Counter: true,
+	},
+	UnicastDrops: {
+		Name: "Unicast drops", Unit: "pkts/s",
+		NyquistLo: 1e-6, NyquistHi: 2e-3,
+		Base: 40, Swing: 35, QuantStep: 1, NoiseAmp: 0.7,
+		PollIntervals: intervals(30, 30, 60, 300), Counter: true,
+	},
+	MulticastDrops: {
+		Name: "Multicast drops", Unit: "pkts/s",
+		NyquistLo: 8e-7, NyquistHi: 1.5e-3,
+		Base: 20, Swing: 18, QuantStep: 1, NoiseAmp: 0.4,
+		PollIntervals: intervals(60, 300), Counter: true,
+	},
+	MulticastBytes: {
+		Name: "Multicast bytes", Unit: "B/s",
+		NyquistLo: 1e-6, NyquistHi: 3e-3,
+		Base: 1e6, Swing: 8e5, QuantStep: 1024, NoiseAmp: 2e4,
+		PollIntervals: intervals(30, 30, 60, 300), Counter: true,
+	},
+	UnicastBytes: {
+		Name: "Unicast bytes", Unit: "B/s",
+		NyquistLo: 2e-6, NyquistHi: 3e-3,
+		Base: 5e8, Swing: 4e8, QuantStep: 4096, NoiseAmp: 8e6,
+		PollIntervals: intervals(30, 30, 60), Counter: true,
+	},
+	InboundDiscards: {
+		Name: "In-bound discards", Unit: "pkts/s",
+		NyquistLo: 1e-6, NyquistHi: 2e-3,
+		Base: 50, Swing: 45, QuantStep: 1, NoiseAmp: 0.8,
+		PollIntervals: intervals(30, 30, 60, 300), Counter: true,
+	},
+	MemoryUsage: {
+		Name: "Memory usage", Unit: "%",
+		NyquistLo: 5e-7, NyquistHi: 1e-3,
+		Base: 55, Swing: 25, QuantStep: 1, NoiseAmp: 0.3,
+		PollIntervals: intervals(60, 300), Counter: false,
+	},
+	PeakEgressBW: {
+		Name: "Peak egress BW", Unit: "Gb/s",
+		NyquistLo: 1e-6, NyquistHi: 1.5e-3,
+		Base: 18, Swing: 14, QuantStep: 0.1, NoiseAmp: 0.25,
+		PollIntervals: intervals(60, 300), Counter: false,
+	},
+	PeakIngressBW: {
+		Name: "Peak ingress BW", Unit: "Gb/s",
+		NyquistLo: 1e-6, NyquistHi: 1.5e-3,
+		Base: 16, Swing: 12, QuantStep: 0.1, NoiseAmp: 0.25,
+		PollIntervals: intervals(60, 300), Counter: false,
+	},
+	LinkUtil: {
+		Name: "Link util", Unit: "%",
+		NyquistLo: 1e-5, NyquistHi: 5e-3,
+		Base: 45, Swing: 40, QuantStep: 1, NoiseAmp: 0.6,
+		PollIntervals: intervals(30, 30, 60, 300), Counter: false,
+	},
+	LossyPaths: {
+		Name: "Lossy paths", Unit: "paths",
+		NyquistLo: 1e-5, NyquistHi: 4e-3,
+		Base: 25, Swing: 22, QuantStep: 1, NoiseAmp: 0.3,
+		PollIntervals: intervals(60, 300), Counter: false,
+	},
+	CPUUtil5pct: {
+		Name: "5-pct CPU util", Unit: "%",
+		NyquistLo: 1e-5, NyquistHi: 8e-3,
+		Base: 35, Swing: 30, QuantStep: 1, NoiseAmp: 0.5,
+		PollIntervals: intervals(30, 30, 60, 300), Counter: false,
+	},
+	Temperature: {
+		Name: "Temperature", Unit: "°C",
+		// The paper states this range explicitly (§3.2).
+		NyquistLo: 7.99e-7, NyquistHi: 3e-3,
+		Base: 45, Swing: 12, QuantStep: 0.5, NoiseAmp: 0.15,
+		PollIntervals: intervals(300, 300, 900), Counter: false,
+	},
+	FCSErrors: {
+		Name: "FCS errors", Unit: "frames/s",
+		NyquistLo: 1e-6, NyquistHi: 7e-3,
+		Base: 18, Swing: 16, QuantStep: 1, NoiseAmp: 0.25,
+		PollIntervals: intervals(30, 30, 60, 300), Counter: true,
+	},
+}
+
+// ProfileFor returns the profile of a metric family.
+func ProfileFor(m Metric) Profile {
+	if int(m) < 0 || int(m) >= NumMetrics {
+		return Profile{Name: "unknown"}
+	}
+	return metricProfiles[m]
+}
+
+func intervals(secs ...int) []time.Duration {
+	out := make([]time.Duration, len(secs))
+	for i, s := range secs {
+		out[i] = time.Duration(s) * time.Second
+	}
+	return out
+}

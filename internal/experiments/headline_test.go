@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/dcsim"
+)
+
+// TestFullScaleHeadlines runs the census at the paper's full population
+// (1613 pairs, seed 1 — the exact configuration EXPERIMENTS.md records)
+// and pins the headline statistics to the ranges documented there, so a
+// regression in any substrate that would silently change the published
+// numbers fails loudly.
+func TestFullScaleHeadlines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale census skipped in -short mode")
+	}
+	cfg := FleetConfig{Seed: 1, Pairs: 1613, TraceDuration: dcsim.Day}
+	pairs, err := censusFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := summarizeCensus(pairs)
+	if c.Pairs != 1613 {
+		t.Fatalf("pairs = %d", c.Pairs)
+	}
+	// EXPERIMENTS.md: 93% over-sampled (paper: 89%).
+	if f := c.OversampledFraction(); f < 0.90 || f > 0.96 {
+		t.Fatalf("oversampled fraction = %.3f, EXPERIMENTS.md records ~0.93", f)
+	}
+	if c.Errors != 0 {
+		t.Fatalf("estimator rejected %d traces outright", c.Errors)
+	}
+
+	// Fig. 4 headline: pooled >=1000x mass ~11% with one-day windows.
+	f4, err := RunFig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f4.FracAbove1000 < 0.07 || f4.FracAbove1000 > 0.17 {
+		t.Fatalf(">=1000x = %.3f, EXPERIMENTS.md records ~0.11", f4.FracAbove1000)
+	}
+	if med := f4.Pooled.Quantile(0.5); med < 50 || med > 250 {
+		t.Fatalf("pooled median reduction = %.0f, EXPERIMENTS.md records ~111x", med)
+	}
+
+	// Fig. 5 headline: temperature max ~3e-3 Hz (the paper's number).
+	f5, err := RunFig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f5.TemperatureRange[1] < 2e-3 || f5.TemperatureRange[1] > 4.5e-3 {
+		t.Fatalf("temperature max = %v Hz, paper records 3e-3", f5.TemperatureRange[1])
+	}
+}
+
+// TestFig6Headline pins the Fig. 6 numbers EXPERIMENTS.md records.
+func TestFig6Headline(t *testing.T) {
+	res, err := RunFig6(Fig6Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fidelity.SamplesAfter != 36 || res.Fidelity.SamplesBefore != 576 {
+		t.Fatalf("samples %d/%d, EXPERIMENTS.md records 36/576",
+			res.Fidelity.SamplesAfter, res.Fidelity.SamplesBefore)
+	}
+	if res.Fidelity.L2 > 4 {
+		t.Fatalf("L2 = %v, EXPERIMENTS.md records 2.45", res.Fidelity.L2)
+	}
+	if res.Fidelity.MaxAbs > 0.5+1e-9 {
+		t.Fatalf("max error %v exceeds one 0.5 quantum", res.Fidelity.MaxAbs)
+	}
+}

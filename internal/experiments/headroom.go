@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// HeadroomAblation quantifies §4.2's last-paragraph dilemma: a
+// first-of-its-kind event cannot be predicted by probing, memory, or any
+// adaptive policy — at its onset the poller runs whatever rate the quiet
+// signal justified. The only defence is headroom, and headroom is paid
+// for around the clock.
+type HeadroomAblation struct {
+	// Rows holds one headroom setting each.
+	Rows []HeadroomRow
+	// QuietNyquist is the quiet signal's requirement (Hz).
+	QuietNyquist float64
+	// EventNyquist is the surprise event's requirement (Hz).
+	EventNyquist float64
+}
+
+// HeadroomRow is one headroom setting's outcome.
+type HeadroomRow struct {
+	// Headroom is the configured multiplier.
+	Headroom float64
+	// PreEventRate is the poll rate in force when the event begins.
+	PreEventRate float64
+	// OnsetCaptured reports whether that rate covered the event's
+	// Nyquist requirement from its first sample.
+	OnsetCaptured bool
+	// TotalSamples is the run's cost.
+	TotalSamples int
+}
+
+// RunHeadroomAblation sweeps the headroom factor over a signal whose
+// surprise event needs 3x the quiet requirement.
+func RunHeadroomAblation(seed int64) (*HeadroomAblation, error) {
+	const (
+		day       = 86400.0
+		quietFreq = 1e-3       // quiet content: Nyquist 2e-3 Hz
+		eventAt   = day * 0.75 // late surprise
+		eventFreq = 3e-3       // event content: Nyquist 6e-3 Hz
+		epoch     = 7200.0
+	)
+	sig := core.SamplerFunc(func(t float64) float64 {
+		v := 30 + 6*math.Sin(2*math.Pi*quietFreq*t+float64(seed))
+		if t >= eventAt {
+			u := (t - eventAt) / (day - eventAt)
+			env := 0.5 * (1 - math.Cos(2*math.Pi*u))
+			v += 12 * env * math.Sin(2*math.Pi*eventFreq*t)
+		}
+		return v
+	})
+	out := &HeadroomAblation{QuietNyquist: 2 * quietFreq, EventNyquist: 2 * eventFreq}
+	for _, h := range []float64{1, 2, 4} {
+		s, err := core.NewAdaptiveSampler(core.AdaptiveConfig{
+			InitialRate:   4 * quietFreq,
+			MaxRate:       1,
+			EpochDuration: epoch,
+			Headroom:      h,
+			DecreaseAfter: 1,
+			DecayFactor:   0.3,
+			Estimator:     core.EstimatorConfig{EnergyCutoff: 0.9},
+		})
+		if err != nil {
+			return nil, err
+		}
+		run, err := s.Run(sig, 0, day)
+		if err != nil {
+			return nil, err
+		}
+		row := HeadroomRow{Headroom: h, TotalSamples: run.TotalSamples}
+		for _, e := range run.Epochs {
+			if e.Start <= eventAt && eventAt < e.Start+epoch {
+				row.PreEventRate = e.Rate
+				row.OnsetCaptured = e.Rate >= out.EventNyquist
+				break
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render prints the sweep.
+func (r *HeadroomAblation) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: §4.2 headroom vs a first-of-its-kind event\n(quiet requirement %s Hz; surprise event needs %s Hz)\n\n",
+		fmtHz(r.QuietNyquist), fmtHz(r.EventNyquist))
+	tb := report.NewTable("headroom", "rate at event onset (Hz)", "onset captured", "total samples")
+	for _, row := range r.Rows {
+		tb.AddRow(fmt.Sprintf("%.0fx", row.Headroom),
+			fmtHz(row.PreEventRate),
+			fmt.Sprintf("%v", row.OnsetCaptured),
+			fmt.Sprintf("%d", row.TotalSamples))
+	}
+	b.WriteString(tb.String())
+	b.WriteString("\nNo adaptive policy can anticipate a first occurrence; only standing headroom\ncovers the onset, and its cost scales with the multiplier — the trade-off the\npaper leaves open.\n")
+	return b.String()
+}

@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dcsim"
+	"repro/internal/monitor"
+	"repro/internal/report"
+)
+
+// BudgetFrontierResult is the paper's title claim as a curve: fleet-wide
+// monitoring quality as a function of the global sampling budget, with
+// the sweet spot at the aggregate Nyquist demand.
+type BudgetFrontierResult struct {
+	// Points is the (budget fraction, quality) curve.
+	Points []monitor.FrontierPoint
+	// DemandHz is the fleet's aggregate Nyquist demand in samples/s.
+	DemandHz float64
+	// TodayHz is what the fleet's current ad-hoc rates spend.
+	TodayHz float64
+	// TodayOverSpend is TodayHz / DemandHz — how far past the knee
+	// production operates.
+	TodayOverSpend float64
+	// Pairs is the number of usable metric/device pairs.
+	Pairs int
+}
+
+// RunBudgetFrontier estimates every fleet device's Nyquist rate, then
+// sweeps a global sample budget through the allocator and traces the
+// cost/quality frontier. Production's current spend is marked on the
+// curve: it sits far right of the knee, which is the paper's argument in
+// one picture.
+func RunBudgetFrontier(cfg FleetConfig) (*BudgetFrontierResult, error) {
+	pairs, err := censusFleet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var demands []monitor.Demand
+	var todayHz float64
+	for _, p := range pairs {
+		if p.res == nil || p.res.Aliased {
+			continue
+		}
+		demands = append(demands, monitor.Demand{
+			ID:          p.dev.ID,
+			NyquistRate: p.res.NyquistRate,
+		})
+		todayHz += p.dev.PollRate()
+	}
+	if len(demands) == 0 {
+		return nil, fmt.Errorf("experiments: no usable devices for the frontier")
+	}
+	pts, err := monitor.Frontier(demands, 20)
+	if err != nil {
+		return nil, err
+	}
+	res := &BudgetFrontierResult{Points: pts, TodayHz: todayHz, Pairs: len(demands)}
+	for _, d := range demands {
+		res.DemandHz += d.NyquistRate
+	}
+	if res.DemandHz > 0 {
+		res.TodayOverSpend = todayHz / res.DemandHz
+	}
+	return res, nil
+}
+
+// Render draws the frontier with production's position annotated.
+func (r *BudgetFrontierResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Cost vs. quality sweet spot (title experiment)\n\n")
+	pts := make([]report.Point, len(r.Points))
+	for i, p := range r.Points {
+		pts[i] = report.Point{X: p.BudgetFraction, Y: p.Quality}
+	}
+	b.WriteString(report.AsciiPlot{Width: 70, Height: 12,
+		Title: "fleet quality vs budget (x = budget / aggregate Nyquist demand)"}.Render(pts))
+	fmt.Fprintf(&b, "\nAggregate Nyquist demand: %.2f samples/s across %d pairs\n", r.DemandHz, r.Pairs)
+	fmt.Fprintf(&b, "Production's ad-hoc spend: %.2f samples/s = %.0fx the demand\n", r.TodayHz, r.TodayOverSpend)
+	b.WriteString("Quality rises linearly with budget up to the knee at 1.0x (the aggregate\nNyquist rate) and is flat beyond it; everything production spends past the\nknee buys nothing.\n")
+	return b.String()
+}
+
+// ErgodicityResult is the §6 "Beyond numbers" exploration: does one
+// device's history stand in for the fleet (the canarying assumption)?
+type ErgodicityResult struct {
+	// Homogeneous is the report for a single-population fleet.
+	Homogeneous *core.ErgodicityReport
+	// Mixed is the report when a minority of devices behaves differently
+	// (e.g. one rack near a failing CRAC unit).
+	Mixed *core.ErgodicityReport
+	// CanarySamples is how many samples one homogeneous device needed
+	// before its statistics matched the ensemble.
+	CanarySamples int
+	// OutlierCanarySamples is -1: an outlier device never converges.
+	OutlierCanarySamples int
+}
+
+// RunErgodicity measures the ergodicity of simulated temperature fleets
+// and the canary-horizon question the paper poses (§6).
+func RunErgodicity(seed int64) (*ErgodicityResult, error) {
+	const devices = 24
+	const samples = 720 // one day of 2-minute polls
+
+	build := func(offset func(i int) float64) ([][]float64, error) {
+		out := make([][]float64, devices)
+		for i := range out {
+			rng := rand.New(rand.NewSource(seed + int64(i)*131))
+			dev, err := dcsim.NewDevice(fmt.Sprintf("temp/%02d", i), dcsim.Temperature,
+				3e-4, 2*time.Minute, rng, uint64(seed)+uint64(i))
+			if err != nil {
+				return nil, err
+			}
+			sig := make([]float64, samples)
+			for j := range sig {
+				sig[j] = dev.At(float64(j)*120) + offset(i)
+			}
+			out[i] = sig
+		}
+		return out, nil
+	}
+
+	homo, err := build(func(int) float64 { return 0 })
+	if err != nil {
+		return nil, err
+	}
+	homoRep, err := core.MeasureErgodicity(homo, 0.15)
+	if err != nil {
+		return nil, err
+	}
+	// A quarter of the fleet runs 15 degrees hotter.
+	mixed, err := build(func(i int) float64 {
+		if i%4 == 0 {
+			return 15
+		}
+		return 0
+	})
+	if err != nil {
+		return nil, err
+	}
+	mixedRep, err := core.MeasureErgodicity(mixed, 0.15)
+	if err != nil {
+		return nil, err
+	}
+
+	ensemble := flatten(homo)
+	canary, err := core.CanaryHorizon(homo[1], ensemble, 0.15)
+	if err != nil {
+		return nil, err
+	}
+	outlier, err := core.CanaryHorizon(mixed[0], flatten(mixed[1:]), 0.15)
+	if err != nil {
+		return nil, err
+	}
+	return &ErgodicityResult{
+		Homogeneous:          homoRep,
+		Mixed:                mixedRep,
+		CanarySamples:        canary,
+		OutlierCanarySamples: outlier,
+	}, nil
+}
+
+func flatten(sig [][]float64) []float64 {
+	var out []float64
+	for _, s := range sig {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// Render prints the ergodicity comparison.
+func (r *ErgodicityResult) Render() string {
+	var b strings.Builder
+	b.WriteString("§6 ergodicity: does one device's history stand in for the fleet?\n\n")
+	tb := report.NewTable("fleet", "mean KS", "max KS", "ergodic devices", "verdict")
+	tb.AddRow("homogeneous", fmt.Sprintf("%.3f", r.Homogeneous.MeanKS),
+		fmt.Sprintf("%.3f", r.Homogeneous.MaxKS),
+		fmt.Sprintf("%.0f%%", 100*r.Homogeneous.ErgodicFraction), verdictErgodic(r.Homogeneous))
+	tb.AddRow("25% hot outliers", fmt.Sprintf("%.3f", r.Mixed.MeanKS),
+		fmt.Sprintf("%.3f", r.Mixed.MaxKS),
+		fmt.Sprintf("%.0f%%", 100*r.Mixed.ErgodicFraction), verdictErgodic(r.Mixed))
+	b.WriteString(tb.String())
+	fmt.Fprintf(&b, "\nCanary horizon (homogeneous fleet): %d samples until one device's statistics\nmatch the ensemble.\n", r.CanarySamples)
+	if r.OutlierCanarySamples < 0 {
+		b.WriteString("Canary horizon (outlier device): never — extrapolating from it would mislead,\nwhich is the paper's warning about the implicit ergodicity assumption.\n")
+	} else {
+		fmt.Fprintf(&b, "Canary horizon (outlier device): %d samples.\n", r.OutlierCanarySamples)
+	}
+	return b.String()
+}
+
+func verdictErgodic(r *core.ErgodicityReport) string {
+	if r.Ergodic() {
+		return "ergodic"
+	}
+	return "NOT ergodic"
+}
+
+// WindowAblation quantifies the one-day resolution floor EXPERIMENTS.md
+// documents: longer analysis windows resolve slower signals and unlock
+// larger reduction ratios.
+type WindowAblation struct {
+	// Rows holds one trace-length setting each.
+	Rows []WindowRow
+}
+
+// WindowRow is one window-length setting.
+type WindowRow struct {
+	// Days is the trace length.
+	Days int
+	// MedianReduction is the pooled median reduction ratio.
+	MedianReduction float64
+	// FracAbove1000 is the pooled share of pairs reducible >= 1000x.
+	FracAbove1000 float64
+	// FloorHz is the lowest reportable Nyquist rate (2 cycles/window).
+	FloorHz float64
+}
+
+// RunWindowAblation runs the Fig. 4 census at 1, 2 and 4-day windows.
+func RunWindowAblation(seed int64) (*WindowAblation, error) {
+	out := &WindowAblation{}
+	for _, days := range []int{1, 2, 4} {
+		cfg := FleetConfig{Seed: seed, Pairs: 140, TraceDuration: time.Duration(days) * dcsim.Day}
+		res, err := RunFig4(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, WindowRow{
+			Days:            days,
+			MedianReduction: res.Pooled.Quantile(0.5),
+			FracAbove1000:   res.FracAbove1000,
+			FloorHz:         2.0 / (float64(days) * 86400),
+		})
+	}
+	return out, nil
+}
+
+// Render prints the window-length sweep.
+func (r *WindowAblation) Render() string {
+	var b strings.Builder
+	b.WriteString("Ablation: analysis window length (the one-day resolution floor)\n\n")
+	tb := report.NewTable("window", "rate floor (Hz)", "median reduction", ">=1000x")
+	for _, row := range r.Rows {
+		tb.AddRow(fmt.Sprintf("%d day(s)", row.Days), fmtHz(row.FloorHz),
+			fmt.Sprintf("%.0fx", row.MedianReduction),
+			fmt.Sprintf("%.0f%%", 100*row.FracAbove1000))
+	}
+	b.WriteString(tb.String())
+	b.WriteString("\nA window of n samples cannot certify reductions beyond n/2; lengthening the\nwindow lowers the floor and exposes the slower devices' full savings.\n")
+	return b.String()
+}

@@ -1,0 +1,158 @@
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/series"
+)
+
+// Archiver implements the paper's a-posteriori path (§4, first
+// paragraph): when measuring is cheap but storing and analyzing are not,
+// keep polling at the high rate, compute the Nyquist rate over each
+// completed window, and retain only the window re-sampled at that rate.
+// Aliased windows are stored raw — losing them would discard exactly the
+// information the estimator could not bound.
+type Archiver struct {
+	cfg      ArchiverConfig
+	est      *core.Estimator
+	store    *Store
+	id       string
+	interval time.Duration
+
+	buf        []float64
+	blockStart time.Time
+	haveStart  bool
+
+	raw, kept, aliasedBlocks int
+}
+
+// ArchiverConfig parameterizes an Archiver.
+type ArchiverConfig struct {
+	// WindowSamples is the analysis block size; zero selects 1024.
+	WindowSamples int
+	// Headroom multiplies the estimated Nyquist rate when choosing the
+	// archived rate; zero selects 1.2 (sampling exactly at the critical
+	// rate leaves the top component ambiguous).
+	Headroom float64
+	// Estimator configures per-block estimation.
+	Estimator core.EstimatorConfig
+	// QuantStep, when positive, is recorded so ReadBack can re-quantize
+	// reconstructions to the sensor grid.
+	QuantStep float64
+}
+
+func (c ArchiverConfig) withDefaults() ArchiverConfig {
+	if c.WindowSamples <= 0 {
+		c.WindowSamples = 1024
+	}
+	if c.Headroom <= 1 {
+		c.Headroom = 1.2
+	}
+	return c
+}
+
+// NewArchiver returns an archiver writing series id to store. interval is
+// the (uniform) spacing of the ingested samples.
+func NewArchiver(id string, store *Store, interval time.Duration, cfg ArchiverConfig) (*Archiver, error) {
+	if store == nil {
+		return nil, errors.New("monitor: archiver needs a store")
+	}
+	if interval <= 0 {
+		return nil, series.ErrBadInterval
+	}
+	c := cfg.withDefaults()
+	est, err := core.NewEstimator(c.Estimator)
+	if err != nil {
+		return nil, err
+	}
+	return &Archiver{cfg: c, est: est, store: store, id: id, interval: interval}, nil
+}
+
+// Ingest buffers one high-rate sample; completing a window triggers an
+// automatic Flush. Samples are assumed to arrive in time order at the
+// configured interval (the poller's contract).
+func (a *Archiver) Ingest(p series.Point) error {
+	if !a.haveStart {
+		a.blockStart = p.Time
+		a.haveStart = true
+	}
+	a.buf = append(a.buf, p.Value)
+	a.raw++
+	if len(a.buf) >= a.cfg.WindowSamples {
+		return a.Flush()
+	}
+	return nil
+}
+
+// Flush archives the buffered partial window. Blocks too short for
+// estimation, and blocks the estimator flags as aliased, are stored raw.
+func (a *Archiver) Flush() error {
+	if len(a.buf) == 0 {
+		return nil
+	}
+	u := &series.Uniform{Start: a.blockStart, Interval: a.interval, Values: a.buf}
+	res, err := a.est.Estimate(u)
+	switch {
+	case errors.Is(err, core.ErrAliased), errors.Is(err, core.ErrTooShort):
+		a.aliasedBlocks++
+		if err := a.store.AppendUniform(a.id, u); err != nil {
+			return fmt.Errorf("monitor: archiver raw block: %w", err)
+		}
+		a.kept += len(a.buf)
+	case err != nil:
+		return err
+	default:
+		down, err := core.Downsample(u, a.cfg.Headroom*res.NyquistRate)
+		if err != nil {
+			return err
+		}
+		if err := a.store.AppendUniform(a.id, down); err != nil {
+			return fmt.Errorf("monitor: archiver block: %w", err)
+		}
+		a.kept += len(down.Values)
+	}
+	a.buf = a.buf[:0]
+	a.haveStart = false
+	return nil
+}
+
+// Savings reports the raw sample count seen, the samples actually stored,
+// and the number of blocks retained raw because they looked aliased.
+func (a *Archiver) Savings() (raw, stored, aliasedBlocks int) {
+	return a.raw, a.kept, a.aliasedBlocks
+}
+
+// Reduction returns raw/stored (0 before any flush).
+func (a *Archiver) Reduction() float64 {
+	if a.kept == 0 {
+		return 0
+	}
+	return float64(a.raw) / float64(a.kept)
+}
+
+// ReadBack reconstructs the archived series at the target rate (hertz)
+// over everything stored so far, re-quantizing when the config carries a
+// quantum — the "reconstruct on demand" half of the a-posteriori path.
+func (a *Archiver) ReadBack(targetRate float64) (*series.Uniform, error) {
+	if !(targetRate > 0) {
+		return nil, errors.New("monitor: target rate must be positive")
+	}
+	stored, err := a.store.Full(a.id)
+	if err != nil {
+		return nil, err
+	}
+	// Archived blocks have varying rates; regularize onto the stored
+	// median grid first, then band-limited-upsample to the target.
+	u, err := stored.RegularizeAuto()
+	if err != nil {
+		return nil, err
+	}
+	outLen := int(float64(u.Len()) * targetRate / u.SampleRate())
+	if outLen < u.Len() {
+		outLen = u.Len()
+	}
+	return core.Reconstruct(u, outLen, core.ReconstructConfig{QuantStep: a.cfg.QuantStep})
+}

@@ -1,0 +1,144 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/series"
+)
+
+func TestArchiverCompressesOversampledStream(t *testing.T) {
+	store := NewStore(0)
+	a, err := NewArchiver("temp", store, time.Second, ArchiverConfig{WindowSamples: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4096 one-second samples of a 16-cycles-per-block signal.
+	for i := 0; i < 4096; i++ {
+		ts := start.Add(time.Duration(i) * time.Second)
+		v := 40 + 5*math.Sin(2*math.Pi*16*float64(i)/1024)
+		if err := a.Ingest(series.Point{Time: ts, Value: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, stored, aliased := a.Savings()
+	if raw != 4096 {
+		t.Fatalf("raw = %d", raw)
+	}
+	if aliased != 0 {
+		t.Fatalf("aliased blocks = %d, want 0", aliased)
+	}
+	// 16 cycles/1024 samples -> Nyquist 32/1024; headroom 1.2 -> keep
+	// roughly 40 samples per 1024. Anything below 1/10 of raw is a win.
+	if stored >= raw/10 {
+		t.Fatalf("stored %d of %d; expected heavy compression", stored, raw)
+	}
+	if a.Reduction() < 10 {
+		t.Fatalf("reduction = %v", a.Reduction())
+	}
+}
+
+func TestArchiverReadBackFidelity(t *testing.T) {
+	store := NewStore(0)
+	a, err := NewArchiver("sig", store, time.Second, ArchiverConfig{WindowSamples: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := make([]float64, 2048)
+	for i := range orig {
+		orig[i] = math.Sin(2*math.Pi*8*float64(i)/2048) + 0.5*math.Cos(2*math.Pi*20*float64(i)/2048)
+		if err := a.Ingest(series.Point{Time: start.Add(time.Duration(i) * time.Second), Value: orig[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec, err := a.ReadBack(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() < len(orig)*9/10 {
+		t.Fatalf("read back %d samples, want ~%d", rec.Len(), len(orig))
+	}
+	n := rec.Len()
+	if n > len(orig) {
+		n = len(orig)
+	}
+	fid, err := core.CompareSignals(orig[:n], rec.Values[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fid.NRMSE > 0.05 {
+		t.Fatalf("read-back NRMSE = %v", fid.NRMSE)
+	}
+}
+
+func TestArchiverKeepsAliasedBlocksRaw(t *testing.T) {
+	store := NewStore(0)
+	a, err := NewArchiver("noise", store, time.Second, ArchiverConfig{WindowSamples: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := uint64(9)
+	for i := 0; i < 512; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		v := float64(int64(state)) / math.MaxInt64
+		if err := a.Ingest(series.Point{Time: start.Add(time.Duration(i) * time.Second), Value: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, stored, aliased := a.Savings()
+	if aliased != 1 {
+		t.Fatalf("aliased blocks = %d, want 1", aliased)
+	}
+	if stored != raw {
+		t.Fatalf("aliased block must be stored raw: %d vs %d", stored, raw)
+	}
+}
+
+func TestArchiverPartialFlush(t *testing.T) {
+	store := NewStore(0)
+	a, err := NewArchiver("short", store, time.Second, ArchiverConfig{WindowSamples: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Too short to estimate: flushed raw.
+	for i := 0; i < 10; i++ {
+		if err := a.Ingest(series.Point{Time: start.Add(time.Duration(i) * time.Second), Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	_, stored, _ := a.Savings()
+	if stored != 10 {
+		t.Fatalf("stored = %d, want 10 raw", stored)
+	}
+	// Idempotent empty flush.
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Reduction() != 1 {
+		t.Fatalf("reduction = %v, want 1", a.Reduction())
+	}
+}
+
+func TestArchiverErrors(t *testing.T) {
+	if _, err := NewArchiver("x", nil, time.Second, ArchiverConfig{}); err == nil {
+		t.Fatal("nil store should fail")
+	}
+	if _, err := NewArchiver("x", NewStore(0), 0, ArchiverConfig{}); err == nil {
+		t.Fatal("zero interval should fail")
+	}
+	a, err := NewArchiver("x", NewStore(0), time.Second, ArchiverConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ReadBack(0); err == nil {
+		t.Fatal("zero target rate should fail")
+	}
+	if _, err := a.ReadBack(1); err == nil {
+		t.Fatal("read back of empty archive should fail")
+	}
+}

@@ -1,0 +1,221 @@
+package monitor
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// The paper's title promise made operational: given a fleet of metrics
+// with known (estimated) Nyquist rates and a global sample budget, decide
+// each metric's poll rate so total cost meets the budget with the least
+// information loss. Above the fleet's aggregate Nyquist demand everything
+// is lossless and extra budget is pure waste; below it, something must
+// alias, and the allocator chooses what.
+
+// Demand is one metric's sampling requirement.
+type Demand struct {
+	// ID names the metric/device pair.
+	ID string
+	// NyquistRate is the minimum lossless rate (hertz).
+	NyquistRate float64
+	// Weight scales how much the metric's quality matters; zero means 1.
+	Weight float64
+	// MaxRate caps the useful rate (e.g. the device's export limit);
+	// zero means no cap beyond NyquistRate (sampling above it is waste).
+	MaxRate float64
+}
+
+// Allocation is the budgeter's decision for one metric.
+type Allocation struct {
+	// Demand echoes the input.
+	Demand Demand
+	// Rate is the granted poll rate (hertz).
+	Rate float64
+	// Lossless reports whether Rate >= NyquistRate.
+	Lossless bool
+}
+
+// Plan is a complete budget allocation.
+type Plan struct {
+	// Allocations holds one entry per demand, in input order.
+	Allocations []Allocation
+	// BudgetHz is the granted total (sum of rates), samples/second.
+	BudgetHz float64
+	// DemandHz is the fleet's aggregate Nyquist demand.
+	DemandHz float64
+	// LosslessCount is how many metrics stay above their Nyquist rate.
+	LosslessCount int
+}
+
+// QualityScore summarizes a plan in [0, 1]: the weighted fraction of
+// fleet information captured, counting a metric at rate r below its
+// Nyquist requirement n as capturing r/n of its band (the captured
+// spectrum fraction under a flat-spectrum prior) and a lossless metric as
+// 1.
+func (p *Plan) QualityScore() float64 {
+	var got, total float64
+	for _, a := range p.Allocations {
+		w := a.Demand.Weight
+		if w <= 0 {
+			w = 1
+		}
+		total += w
+		if a.Demand.NyquistRate <= 0 || a.Rate >= a.Demand.NyquistRate {
+			got += w
+			continue
+		}
+		got += w * a.Rate / a.Demand.NyquistRate
+	}
+	if total == 0 {
+		return 0
+	}
+	return got / total
+}
+
+// Allocate distributes budgetHz samples/second across the demands.
+//
+// When the budget covers the aggregate Nyquist demand, every metric gets
+// exactly its requirement (no waste above it unless MaxRate demands
+// headroom are expressed in the demand itself). When it does not, the
+// deficit is spread by weighted proportional fairness: each metric gets
+// budget share proportional to weight*NyquistRate, which equalizes the
+// *fraction* of each metric's band that survives — the max-min fair point
+// of the quality score above.
+func Allocate(demands []Demand, budgetHz float64) (*Plan, error) {
+	if len(demands) == 0 {
+		return nil, errors.New("monitor: no demands")
+	}
+	if !(budgetHz > 0) {
+		return nil, errors.New("monitor: budget must be positive")
+	}
+	p := &Plan{}
+	var totalDemand, totalWeighted float64
+	for _, d := range demands {
+		if d.NyquistRate < 0 || math.IsNaN(d.NyquistRate) || math.IsInf(d.NyquistRate, 0) {
+			return nil, errors.New("monitor: invalid Nyquist rate in demand " + d.ID)
+		}
+		w := d.Weight
+		if w <= 0 {
+			w = 1
+		}
+		totalDemand += d.NyquistRate
+		totalWeighted += w * d.NyquistRate
+	}
+	p.DemandHz = totalDemand
+	if budgetHz >= totalDemand {
+		// Fully funded: grant exactly the requirement.
+		for _, d := range demands {
+			p.Allocations = append(p.Allocations, Allocation{Demand: d, Rate: d.NyquistRate, Lossless: true})
+			p.LosslessCount++
+			p.BudgetHz += d.NyquistRate
+		}
+		return p, nil
+	}
+	// Deficit: weighted proportional shares, then redistribute any
+	// surplus from metrics whose share exceeds their requirement.
+	type slot struct {
+		d     Demand
+		w     float64
+		rate  float64
+		fixed bool
+	}
+	slots := make([]slot, len(demands))
+	for i, d := range demands {
+		w := d.Weight
+		if w <= 0 {
+			w = 1
+		}
+		slots[i] = slot{d: d, w: w}
+	}
+	remaining := budgetHz
+	// Iterative water-filling: cap funded slots at their demand and
+	// re-share the surplus among the rest. Terminates in <= len rounds.
+	for {
+		var openWeighted float64
+		for _, s := range slots {
+			if !s.fixed {
+				openWeighted += s.w * s.d.NyquistRate
+			}
+		}
+		if openWeighted <= 0 {
+			break
+		}
+		capped := false
+		for i := range slots {
+			if slots[i].fixed {
+				continue
+			}
+			share := remaining * slots[i].w * slots[i].d.NyquistRate / openWeighted
+			if share >= slots[i].d.NyquistRate {
+				slots[i].rate = slots[i].d.NyquistRate
+				slots[i].fixed = true
+				remaining -= slots[i].d.NyquistRate
+				capped = true
+			}
+		}
+		if !capped {
+			for i := range slots {
+				if !slots[i].fixed {
+					slots[i].rate = remaining * slots[i].w * slots[i].d.NyquistRate / openWeighted
+				}
+			}
+			break
+		}
+	}
+	for _, s := range slots {
+		lossless := s.rate >= s.d.NyquistRate && s.d.NyquistRate > 0
+		if lossless {
+			p.LosslessCount++
+		}
+		p.Allocations = append(p.Allocations, Allocation{Demand: s.d, Rate: s.rate, Lossless: lossless})
+		p.BudgetHz += s.rate
+	}
+	return p, nil
+}
+
+// Frontier sweeps the budget from a small fraction of the aggregate
+// demand to beyond it and returns (budget, quality) points — the paper's
+// cost-versus-quality curve whose knee is the sweet spot: quality rises
+// linearly with budget until the aggregate Nyquist demand and is flat
+// beyond it.
+func Frontier(demands []Demand, points int) ([]FrontierPoint, error) {
+	if points < 2 {
+		points = 9
+	}
+	var demand float64
+	for _, d := range demands {
+		demand += d.NyquistRate
+	}
+	if demand <= 0 {
+		return nil, errors.New("monitor: zero aggregate demand")
+	}
+	out := make([]FrontierPoint, 0, points)
+	for i := 0; i < points; i++ {
+		frac := 0.1 + 1.9*float64(i)/float64(points-1) // 0.1x .. 2.0x demand
+		plan, err := Allocate(demands, frac*demand)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, FrontierPoint{
+			BudgetFraction: frac,
+			BudgetHz:       plan.BudgetHz,
+			Quality:        plan.QualityScore(),
+			Lossless:       plan.LosslessCount,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].BudgetFraction < out[j].BudgetFraction })
+	return out, nil
+}
+
+// FrontierPoint is one point of the cost/quality curve.
+type FrontierPoint struct {
+	// BudgetFraction is the budget as a fraction of aggregate demand.
+	BudgetFraction float64
+	// BudgetHz is the granted budget in samples/second.
+	BudgetHz float64
+	// Quality is the plan's QualityScore.
+	Quality float64
+	// Lossless is how many metrics stay above their Nyquist rate.
+	Lossless int
+}

@@ -1,0 +1,198 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func demoDemands() []Demand {
+	return []Demand{
+		{ID: "a", NyquistRate: 0.01},
+		{ID: "b", NyquistRate: 0.04},
+		{ID: "c", NyquistRate: 0.15},
+	}
+}
+
+func TestAllocateFullyFunded(t *testing.T) {
+	p, err := Allocate(demoDemands(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LosslessCount != 3 {
+		t.Fatalf("lossless = %d, want 3", p.LosslessCount)
+	}
+	// No waste: each metric gets exactly its requirement.
+	for _, a := range p.Allocations {
+		if a.Rate != a.Demand.NyquistRate {
+			t.Fatalf("%s granted %v, want exactly %v", a.Demand.ID, a.Rate, a.Demand.NyquistRate)
+		}
+	}
+	if got := p.QualityScore(); got != 1 {
+		t.Fatalf("quality = %v, want 1", got)
+	}
+	if math.Abs(p.BudgetHz-0.2) > 1e-12 {
+		t.Fatalf("spent %v, want 0.2", p.BudgetHz)
+	}
+}
+
+func TestAllocateDeficitProportional(t *testing.T) {
+	// Budget is half the demand: every metric should retain half its
+	// band (equal weights), i.e. rate = nyquist/2.
+	p, err := Allocate(demoDemands(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range p.Allocations {
+		want := a.Demand.NyquistRate / 2
+		if math.Abs(a.Rate-want) > 1e-12 {
+			t.Fatalf("%s granted %v, want %v", a.Demand.ID, a.Rate, want)
+		}
+		if a.Lossless {
+			t.Fatalf("%s marked lossless in deficit", a.Demand.ID)
+		}
+	}
+	if got := p.QualityScore(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("quality = %v, want 0.5", got)
+	}
+}
+
+func TestAllocateWeights(t *testing.T) {
+	demands := []Demand{
+		{ID: "critical", NyquistRate: 0.1, Weight: 9},
+		{ID: "besteffort", NyquistRate: 0.1, Weight: 1},
+	}
+	p, err := Allocate(demands, 0.1) // half the total demand
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit, be := p.Allocations[0], p.Allocations[1]
+	if crit.Rate <= be.Rate {
+		t.Fatalf("critical %v not above best-effort %v", crit.Rate, be.Rate)
+	}
+	if math.Abs(crit.Rate-0.09) > 1e-12 || math.Abs(be.Rate-0.01) > 1e-12 {
+		t.Fatalf("rates = %v, %v; want 0.09, 0.01", crit.Rate, be.Rate)
+	}
+}
+
+func TestAllocateEqualBandFractions(t *testing.T) {
+	// Proportional fairness with equal weights: every metric keeps the
+	// same fraction of its band regardless of absolute demand.
+	demands := []Demand{
+		{ID: "tiny", NyquistRate: 0.001},
+		{ID: "huge", NyquistRate: 1},
+	}
+	p, err := Allocate(demands, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fracTiny := p.Allocations[0].Rate / 0.001
+	fracHuge := p.Allocations[1].Rate / 1
+	if math.Abs(fracTiny-fracHuge) > 1e-9 {
+		t.Fatalf("band fractions differ: %v vs %v", fracTiny, fracHuge)
+	}
+}
+
+func TestAllocateCapsOverWeightedDemand(t *testing.T) {
+	// A heavily weighted small demand gets a proportional share larger
+	// than its requirement: it must cap there and the surplus must flow
+	// to the other metric.
+	demands := []Demand{
+		{ID: "vip", NyquistRate: 0.01, Weight: 100},
+		{ID: "bulk", NyquistRate: 1, Weight: 1},
+	}
+	p, err := Allocate(demands, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Allocations[0].Rate != 0.01 || !p.Allocations[0].Lossless {
+		t.Fatalf("vip got %v, want its full 0.01", p.Allocations[0].Rate)
+	}
+	if math.Abs(p.Allocations[1].Rate-0.49) > 1e-9 {
+		t.Fatalf("bulk got %v, want the 0.49 surplus", p.Allocations[1].Rate)
+	}
+}
+
+func TestAllocateErrors(t *testing.T) {
+	if _, err := Allocate(nil, 1); err == nil {
+		t.Fatal("no demands should fail")
+	}
+	if _, err := Allocate(demoDemands(), 0); err == nil {
+		t.Fatal("zero budget should fail")
+	}
+	if _, err := Allocate([]Demand{{ID: "x", NyquistRate: math.NaN()}}, 1); err == nil {
+		t.Fatal("NaN demand should fail")
+	}
+}
+
+func TestAllocateBudgetConservedProperty(t *testing.T) {
+	f := func(rates []uint16, budgetSeed uint16) bool {
+		if len(rates) == 0 {
+			return true
+		}
+		if len(rates) > 50 {
+			rates = rates[:50]
+		}
+		demands := make([]Demand, len(rates))
+		var total float64
+		for i, r := range rates {
+			demands[i] = Demand{ID: "d", NyquistRate: float64(r%1000+1) / 1000}
+			total += demands[i].NyquistRate
+		}
+		budget := total * (0.05 + float64(budgetSeed)/65535*2)
+		p, err := Allocate(demands, budget)
+		if err != nil {
+			return false
+		}
+		// Spend never exceeds min(budget, demand); no metric exceeds its
+		// requirement; quality in [0, 1].
+		capped := math.Min(budget, total)
+		if p.BudgetHz > capped*(1+1e-9) {
+			return false
+		}
+		for _, a := range p.Allocations {
+			if a.Rate > a.Demand.NyquistRate*(1+1e-9) || a.Rate < 0 {
+				return false
+			}
+		}
+		q := p.QualityScore()
+		return q >= 0 && q <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrontierShape(t *testing.T) {
+	pts, err := Frontier(demoDemands(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 20 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Quality must be non-decreasing in budget, hit 1 at >=1x demand,
+	// and be linear below (knee at 1.0).
+	prev := -1.0
+	for _, p := range pts {
+		if p.Quality < prev-1e-9 {
+			t.Fatalf("quality not monotone at %v", p.BudgetFraction)
+		}
+		prev = p.Quality
+		if p.BudgetFraction >= 1 && p.Quality < 1-1e-9 {
+			t.Fatalf("budget %vx demand but quality %v", p.BudgetFraction, p.Quality)
+		}
+		if p.BudgetFraction < 1 && math.Abs(p.Quality-p.BudgetFraction) > 1e-9 {
+			t.Fatalf("below the knee quality %v != budget fraction %v", p.Quality, p.BudgetFraction)
+		}
+	}
+}
+
+func TestFrontierErrors(t *testing.T) {
+	if _, err := Frontier(nil, 5); err == nil {
+		t.Fatal("empty demands should fail")
+	}
+	if _, err := Frontier([]Demand{{ID: "x", NyquistRate: 0}}, 5); err == nil {
+		t.Fatal("zero demand should fail")
+	}
+}

@@ -1,0 +1,139 @@
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Manager runs the adaptive sampling loop over an entire fleet
+// concurrently — the deployment shape of §4: one control loop per
+// metric/device pair, a shared budget report for the operator. Workers
+// are bounded so a 10k-pair fleet does not spawn 10k goroutines.
+type Manager struct {
+	cfg ManagerConfig
+}
+
+// ManagerConfig parameterizes a Manager.
+type ManagerConfig struct {
+	// Adaptive is the per-target loop configuration template. Targets
+	// with a zero InitialRate inherit it entirely.
+	Adaptive core.AdaptiveConfig
+	// Concurrency bounds the worker pool; zero selects 8.
+	Concurrency int
+	// Model prices samples.
+	Model CostModel
+}
+
+// ManagedTarget is one fleet member under adaptive control.
+type ManagedTarget struct {
+	// ID names the metric/device pair.
+	ID string
+	// Target is the signal source.
+	Target core.Sampler
+	// InitialRate optionally overrides the template's starting rate.
+	InitialRate float64
+}
+
+// TargetReport is the outcome for one target.
+type TargetReport struct {
+	// ID echoes the target.
+	ID string
+	// Run is the adaptation log (nil when Err is set).
+	Run *core.RunResult
+	// Cost is the target's bill.
+	Cost Cost
+	// Err records a per-target failure; other targets proceed.
+	Err error
+}
+
+// FleetReport aggregates a fleet run.
+type FleetReport struct {
+	// Targets holds per-target outcomes sorted by ID.
+	Targets []TargetReport
+	// TotalCost sums all successful targets' bills.
+	TotalCost Cost
+	// Failed counts targets that errored.
+	Failed int
+}
+
+// NewManager validates cfg and returns a Manager.
+func NewManager(cfg ManagerConfig) (*Manager, error) {
+	if cfg.Concurrency < 0 {
+		return nil, errors.New("monitor: negative concurrency")
+	}
+	if cfg.Concurrency == 0 {
+		cfg.Concurrency = 8
+	}
+	// Validate the template once so per-target failures can only come
+	// from the targets themselves.
+	probe := cfg.Adaptive
+	if probe.InitialRate == 0 {
+		probe.InitialRate = 1
+	}
+	if _, err := core.NewAdaptiveSampler(probe); err != nil {
+		return nil, fmt.Errorf("monitor: manager template: %w", err)
+	}
+	return &Manager{cfg: cfg}, nil
+}
+
+// Run drives every target's adaptive loop over [offset, offset+duration)
+// seconds of signal time. Per-target failures are recorded, not fatal;
+// Run errors only on systemic misuse (no targets).
+func (m *Manager) Run(targets []ManagedTarget, offset float64, duration time.Duration) (*FleetReport, error) {
+	if len(targets) == 0 {
+		return nil, errors.New("monitor: no targets")
+	}
+	reports := make([]TargetReport, len(targets))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, m.cfg.Concurrency)
+	for i := range targets {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			reports[i] = m.runOne(targets[i], offset, duration)
+		}(i)
+	}
+	wg.Wait()
+	rep := &FleetReport{Targets: reports}
+	sort.Slice(rep.Targets, func(a, b int) bool { return rep.Targets[a].ID < rep.Targets[b].ID })
+	for _, tr := range rep.Targets {
+		if tr.Err != nil {
+			rep.Failed++
+			continue
+		}
+		rep.TotalCost.AddCost(tr.Cost)
+	}
+	return rep, nil
+}
+
+func (m *Manager) runOne(t ManagedTarget, offset float64, duration time.Duration) TargetReport {
+	rep := TargetReport{ID: t.ID}
+	if t.Target == nil {
+		rep.Err = errors.New("monitor: nil target")
+		return rep
+	}
+	cfg := m.cfg.Adaptive
+	if t.InitialRate > 0 {
+		cfg.InitialRate = t.InitialRate
+	}
+	sampler, err := core.NewAdaptiveSampler(cfg)
+	if err != nil {
+		rep.Err = err
+		return rep
+	}
+	run, err := sampler.Run(t.Target, offset, duration.Seconds())
+	if err != nil {
+		rep.Err = err
+		return rep
+	}
+	rep.Run = run
+	rep.Cost.Add(m.cfg.Model, run.TotalSamples)
+	return rep
+}

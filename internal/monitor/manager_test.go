@@ -1,0 +1,150 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func managerConfig() ManagerConfig {
+	return ManagerConfig{
+		Adaptive: core.AdaptiveConfig{
+			InitialRate:   0.05,
+			MaxRate:       4,
+			EpochDuration: 256,
+		},
+		Concurrency: 4,
+		Model:       DefaultCostModel(),
+	}
+}
+
+func fleetTargets(n int) []ManagedTarget {
+	out := make([]ManagedTarget, n)
+	for i := range out {
+		f := 0.002 * float64(i+1) // distinct slow tones
+		out[i] = ManagedTarget{
+			ID: string(rune('a' + i)),
+			Target: core.SamplerFunc(func(t float64) float64 {
+				return 10 + math.Sin(2*math.Pi*f*t)
+			}),
+		}
+	}
+	return out
+}
+
+func TestManagerRunsAllTargets(t *testing.T) {
+	m, err := NewManager(managerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run(fleetTargets(6), 0, 256*10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Targets) != 6 || rep.Failed != 0 {
+		t.Fatalf("targets = %d, failed = %d", len(rep.Targets), rep.Failed)
+	}
+	if rep.TotalCost.Samples <= 0 {
+		t.Fatal("no cost accumulated")
+	}
+	// Sorted by ID.
+	for i := 1; i < len(rep.Targets); i++ {
+		if rep.Targets[i-1].ID > rep.Targets[i].ID {
+			t.Fatal("reports not sorted")
+		}
+	}
+	// Every target converged somewhere sensible.
+	for _, tr := range rep.Targets {
+		if tr.Run == nil || len(tr.Run.Epochs) != 10 {
+			t.Fatalf("%s: incomplete run", tr.ID)
+		}
+	}
+}
+
+func TestManagerMatchesSerialRuns(t *testing.T) {
+	// Concurrency must not change results: each target's run equals a
+	// standalone sampler run with the same config.
+	cfg := managerConfig()
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := fleetTargets(4)
+	rep, err := m.Run(targets, 0, 256*8*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range rep.Targets {
+		s, err := core.NewAdaptiveSampler(cfg.Adaptive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := s.Run(targets[i].Target, 0, 256*8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Run.TotalSamples != want.TotalSamples || tr.Run.FinalRate != want.FinalRate {
+			t.Fatalf("%s: concurrent run differs from serial (%d/%v vs %d/%v)",
+				tr.ID, tr.Run.TotalSamples, tr.Run.FinalRate, want.TotalSamples, want.FinalRate)
+		}
+	}
+}
+
+func TestManagerPerTargetFailureIsolated(t *testing.T) {
+	m, err := NewManager(managerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := fleetTargets(3)
+	targets[1].Target = nil // injected failure
+	rep, err := m.Run(targets, 0, 256*5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 1 {
+		t.Fatalf("failed = %d, want 1", rep.Failed)
+	}
+	ok := 0
+	for _, tr := range rep.Targets {
+		if tr.Err == nil && tr.Run != nil {
+			ok++
+		}
+	}
+	if ok != 2 {
+		t.Fatalf("healthy targets completed = %d, want 2", ok)
+	}
+}
+
+func TestManagerInitialRateOverride(t *testing.T) {
+	m, err := NewManager(managerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := fleetTargets(1)
+	targets[0].InitialRate = 2
+	rep, err := m.Run(targets, 0, 256*3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Targets[0].Run.Epochs[0].Rate; got != 2 {
+		t.Fatalf("first epoch rate = %v, want the 2 Hz override", got)
+	}
+}
+
+func TestManagerValidation(t *testing.T) {
+	if _, err := NewManager(ManagerConfig{Concurrency: -1}); err == nil {
+		t.Fatal("negative concurrency should fail")
+	}
+	if _, err := NewManager(ManagerConfig{Adaptive: core.AdaptiveConfig{InitialRate: 1}}); err == nil {
+		t.Fatal("invalid template should fail")
+	}
+	m, err := NewManager(managerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(nil, 0, time.Minute); err == nil {
+		t.Fatal("no targets should fail")
+	}
+}

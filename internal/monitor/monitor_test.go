@@ -1,0 +1,248 @@
+package monitor
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/series"
+)
+
+var start = time.Date(2021, 11, 10, 0, 0, 0, 0, time.UTC)
+
+func slowTone(f float64) core.SamplerFunc {
+	return func(t float64) float64 { return 40 + 10*math.Sin(2*math.Pi*f*t) }
+}
+
+func TestCostModelAccumulation(t *testing.T) {
+	var c Cost
+	m := DefaultCostModel()
+	c.Add(m, 10)
+	if c.Samples != 10 || c.WireBytes != 160 || c.StoreBytes != 160 || c.CPUUnits != 15 {
+		t.Fatalf("cost = %+v", c)
+	}
+	var d Cost
+	d.Add(m, 5)
+	c.AddCost(d)
+	if c.Samples != 15 {
+		t.Fatalf("merged samples = %d", c.Samples)
+	}
+	if r := c.Ratio(d); math.Abs(r-3) > 1e-12 {
+		t.Fatalf("ratio = %v, want 3", r)
+	}
+	if (Cost{}).Ratio(Cost{}) != 0 {
+		t.Fatal("ratio vs empty should be 0")
+	}
+	if c.String() == "" {
+		t.Fatal("empty cost string")
+	}
+}
+
+func TestStoreAppendQuery(t *testing.T) {
+	s := NewStore(0)
+	for i := 0; i < 10; i++ {
+		if err := s.Append("a", series.Point{Time: start.Add(time.Duration(i) * time.Second), Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Query("a", start.Add(2*time.Second), start.Add(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 {
+		t.Fatalf("query returned %d points, want 3", got.Len())
+	}
+	if _, err := s.Query("missing", start, start.Add(time.Hour)); !errors.Is(err, ErrNoSeries) {
+		t.Fatalf("err = %v, want ErrNoSeries", err)
+	}
+	if s.Points() != 10 {
+		t.Fatalf("points = %d", s.Points())
+	}
+	ids := s.IDs()
+	if len(ids) != 1 || ids[0] != "a" {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestStoreCapacity(t *testing.T) {
+	s := NewStore(3)
+	for i := 0; i < 3; i++ {
+		if err := s.Append("a", series.Point{Time: start, Value: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Append("a", series.Point{Time: start, Value: 1}); !errors.Is(err, ErrStoreFull) {
+		t.Fatalf("err = %v, want ErrStoreFull", err)
+	}
+}
+
+func TestStoreConcurrentAppend(t *testing.T) {
+	s := NewStore(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := string(rune('a' + g%4))
+			for i := 0; i < 200; i++ {
+				_ = s.Append(id, series.Point{Time: start.Add(time.Duration(i) * time.Second), Value: float64(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Points() != 1600 {
+		t.Fatalf("points = %d, want 1600", s.Points())
+	}
+	if len(s.IDs()) != 4 {
+		t.Fatalf("ids = %v", s.IDs())
+	}
+}
+
+func TestStoreAppendUniform(t *testing.T) {
+	s := NewStore(0)
+	u := &series.Uniform{Start: start, Interval: time.Second, Values: []float64{1, 2, 3}}
+	if err := s.AppendUniform("u", u); err != nil {
+		t.Fatal(err)
+	}
+	full, err := s.Full("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Len() != 3 {
+		t.Fatalf("full len = %d", full.Len())
+	}
+	if _, err := s.Full("nope"); !errors.Is(err, ErrNoSeries) {
+		t.Fatal("want ErrNoSeries")
+	}
+}
+
+func TestStaticPollerRun(t *testing.T) {
+	s := NewStore(0)
+	p := &StaticPoller{ID: "dev", Target: slowTone(0.001), Interval: 10 * time.Second, Model: DefaultCostModel()}
+	cost, err := p.Run(s, start, 0, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Samples != 60 {
+		t.Fatalf("samples = %d, want 60", cost.Samples)
+	}
+	stored, err := s.Full("dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored.Len() != 60 {
+		t.Fatalf("stored = %d", stored.Len())
+	}
+}
+
+func TestStaticPollerStoreFullPropagates(t *testing.T) {
+	// Failure injection: a bounded store fills mid-run; the poller must
+	// surface ErrStoreFull instead of silently dropping samples.
+	s := NewStore(10)
+	p := &StaticPoller{ID: "dev", Target: slowTone(0.001), Interval: time.Second, Model: DefaultCostModel()}
+	_, err := p.Run(s, start, 0, time.Minute)
+	if !errors.Is(err, ErrStoreFull) {
+		t.Fatalf("err = %v, want ErrStoreFull", err)
+	}
+	if s.Points() != 10 {
+		t.Fatalf("stored %d points, want exactly the capacity", s.Points())
+	}
+}
+
+func TestArchiverStoreFullPropagates(t *testing.T) {
+	s := NewStore(3)
+	a, err := NewArchiver("x", s, time.Second, ArchiverConfig{WindowSamples: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ingestErr error
+	for i := 0; i < 64 && ingestErr == nil; i++ {
+		ingestErr = a.Ingest(series.Point{Time: start.Add(time.Duration(i) * time.Second), Value: float64(i % 7)})
+	}
+	if !errors.Is(ingestErr, ErrStoreFull) {
+		t.Fatalf("err = %v, want ErrStoreFull", ingestErr)
+	}
+}
+
+func TestStaticPollerErrors(t *testing.T) {
+	p := &StaticPoller{ID: "x", Interval: time.Second}
+	if _, err := p.Run(nil, start, 0, time.Minute); err == nil {
+		t.Fatal("nil target should fail")
+	}
+	p = &StaticPoller{ID: "x", Target: slowTone(0.1)}
+	if _, err := p.Run(nil, start, 0, time.Minute); err == nil {
+		t.Fatal("zero interval should fail")
+	}
+}
+
+func TestAdaptivePollerStoresPrimarySamples(t *testing.T) {
+	s := NewStore(0)
+	p := &AdaptivePoller{
+		ID:     "dev",
+		Target: slowTone(0.02),
+		Config: core.AdaptiveConfig{InitialRate: 0.5, MaxRate: 4, EpochDuration: 256},
+		Model:  DefaultCostModel(),
+	}
+	res, err := p.Run(s, start, 0, 2048*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.Samples <= 0 {
+		t.Fatal("no samples billed")
+	}
+	stored, err := s.Full("dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored.Len() == 0 {
+		t.Fatal("nothing stored")
+	}
+	// Probe overhead means billed > stored.
+	if res.Cost.Samples <= stored.Len() {
+		t.Fatalf("billed %d should exceed stored %d (companion probes)", res.Cost.Samples, stored.Len())
+	}
+}
+
+func TestAdaptivePollerNilTarget(t *testing.T) {
+	p := &AdaptivePoller{ID: "x", Config: core.AdaptiveConfig{InitialRate: 1, MaxRate: 2, EpochDuration: 10}}
+	if _, err := p.Run(nil, start, 0, time.Minute); err == nil {
+		t.Fatal("nil target should fail")
+	}
+}
+
+func TestCompareAdaptiveBeatsStaticOnSlowSignal(t *testing.T) {
+	// A signal with a 0.002 Hz component polled statically at 1 Hz is
+	// massively oversampled; the adaptive poller must slash cost while
+	// keeping reconstruction quality high.
+	target := slowTone(0.002)
+	cmp, err := Compare(target, 0, 4096*time.Second, CompareConfig{
+		StaticInterval: time.Second,
+		Adaptive:       core.AdaptiveConfig{InitialRate: 0.05, MaxRate: 1, EpochDuration: 1024},
+		ReferenceRate:  1,
+		Model:          DefaultCostModel(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.CostReduction < 5 {
+		t.Fatalf("cost reduction = %v, want > 5x", cmp.CostReduction)
+	}
+	if cmp.Fidelity.NRMSE > 0.05 {
+		t.Fatalf("NRMSE = %v, want < 0.05", cmp.Fidelity.NRMSE)
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	if _, err := Compare(nil, 0, time.Minute, CompareConfig{StaticInterval: time.Second, ReferenceRate: 1}); err == nil {
+		t.Fatal("nil target should fail")
+	}
+	if _, err := Compare(slowTone(0.01), 0, time.Minute, CompareConfig{ReferenceRate: 1}); err == nil {
+		t.Fatal("zero static interval should fail")
+	}
+	if _, err := Compare(slowTone(0.01), 0, time.Minute, CompareConfig{StaticInterval: time.Second}); err == nil {
+		t.Fatal("zero reference rate should fail")
+	}
+}

@@ -1,0 +1,160 @@
+package monitor
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/series"
+)
+
+// Comparison is a head-to-head of the production static poller against the
+// paper's adaptive poller on the same device over the same period: the
+// cost/quality sweet spot quantified.
+type Comparison struct {
+	// StaticCost is the fixed-rate poller's bill.
+	StaticCost Cost
+	// AdaptiveCost is the adaptive poller's bill (probe samples
+	// included).
+	AdaptiveCost Cost
+	// CostReduction is StaticCost.Samples / AdaptiveCost.Samples.
+	CostReduction float64
+	// Fidelity compares the reconstruction from the adaptive trace
+	// against the dense reference trace.
+	Fidelity *core.Fidelity
+	// FinalRate is where the adaptive loop converged (hertz).
+	FinalRate float64
+	// StaticRate is the production rate (hertz).
+	StaticRate float64
+}
+
+// CompareConfig parameterizes Compare.
+type CompareConfig struct {
+	// StaticInterval is the production poll interval being challenged.
+	StaticInterval time.Duration
+	// Adaptive drives the adaptive poller.
+	Adaptive core.AdaptiveConfig
+	// ReferenceRate is the dense sampling rate (hertz) used to build the
+	// ground-truth reference for fidelity scoring. It must resolve the
+	// signal (well above its Nyquist rate).
+	ReferenceRate float64
+	// QuantStep re-quantizes the reconstruction (0 = off).
+	QuantStep float64
+	// Model prices samples for both sides.
+	Model CostModel
+}
+
+// Compare runs both pollers over [offset, offset+duration) seconds of the
+// target's signal time and scores cost and fidelity.
+func Compare(target core.Sampler, offset float64, duration time.Duration, cfg CompareConfig) (*Comparison, error) {
+	if target == nil {
+		return nil, errors.New("monitor: nil target")
+	}
+	if cfg.StaticInterval <= 0 {
+		return nil, series.ErrBadInterval
+	}
+	if !(cfg.ReferenceRate > 0) {
+		return nil, errors.New("monitor: reference rate must be positive")
+	}
+	start := time.Date(2021, 11, 10, 0, 0, 0, 0, time.UTC)
+
+	static := &StaticPoller{ID: "static", Target: target, Interval: cfg.StaticInterval, Model: cfg.Model}
+	staticCost, err := static.Run(nil, start, offset, duration)
+	if err != nil {
+		return nil, err
+	}
+
+	adaptive := &AdaptivePoller{ID: "adaptive", Target: target, Config: cfg.Adaptive, Model: cfg.Model}
+	adRes, err := adaptive.Run(nil, start, offset, duration)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build the reference trace and the adaptive reconstruction at the
+	// reference rate for fidelity scoring.
+	ref := sampleUniform(target, offset, duration, cfg.ReferenceRate, start)
+	rec, err := reconstructFromEpochs(target, adRes.Run, offset, duration, cfg.ReferenceRate, start, cfg.QuantStep)
+	if err != nil {
+		return nil, err
+	}
+	fid, err := core.CompareSignals(ref.Values, rec.Values)
+	if err != nil {
+		return nil, err
+	}
+	fid.SamplesBefore = staticCost.Samples
+	fid.SamplesAfter = adRes.Cost.Samples
+
+	cmp := &Comparison{
+		StaticCost:   staticCost,
+		AdaptiveCost: adRes.Cost,
+		Fidelity:     fid,
+		FinalRate:    adRes.Run.FinalRate,
+		StaticRate:   1 / cfg.StaticInterval.Seconds(),
+	}
+	if adRes.Cost.Samples > 0 {
+		cmp.CostReduction = float64(staticCost.Samples) / float64(adRes.Cost.Samples)
+	}
+	return cmp, nil
+}
+
+func sampleUniform(target core.Sampler, offset float64, duration time.Duration, rate float64, start time.Time) *series.Uniform {
+	n := int(duration.Seconds() * rate)
+	if n < 1 {
+		n = 1
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = target.At(offset + float64(i)/rate)
+	}
+	return &series.Uniform{Start: start, Interval: time.Duration(float64(time.Second) / rate), Values: vals}
+}
+
+// reconstructFromEpochs rebuilds a dense signal from the adaptive run: for
+// each epoch, the primary-rate samples are upsampled (band-limited
+// interpolation) to the reference rate.
+func reconstructFromEpochs(target core.Sampler, run *core.RunResult, offset float64, duration time.Duration, refRate float64, start time.Time, quantStep float64) (*series.Uniform, error) {
+	totalLen := int(duration.Seconds() * refRate)
+	if totalLen < 1 {
+		totalLen = 1
+	}
+	out := make([]float64, 0, totalLen)
+	for _, e := range run.Epochs {
+		epochDur := nextEpochStart(run, e) - e.Start
+		n := int(epochDur * e.Rate)
+		if n < 1 {
+			n = 1
+		}
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = target.At(e.Start + float64(i)/e.Rate)
+		}
+		wantLen := int(epochDur * refRate)
+		if wantLen < n {
+			wantLen = n
+		}
+		epochU := &series.Uniform{Start: start, Interval: time.Duration(float64(time.Second) / e.Rate), Values: vals}
+		rec, err := core.Reconstruct(epochU, wantLen, core.ReconstructConfig{QuantStep: quantStep})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec.Values...)
+	}
+	// Pad or trim to the exact reference length (rounding drift across
+	// epochs is at most a few samples).
+	for len(out) < totalLen {
+		out = append(out, out[len(out)-1])
+	}
+	out = out[:totalLen]
+	return &series.Uniform{Start: start, Interval: time.Duration(float64(time.Second) / refRate), Values: out}, nil
+}
+
+func nextEpochStart(run *core.RunResult, e core.Epoch) float64 {
+	if e.Index+1 < len(run.Epochs) {
+		return run.Epochs[e.Index+1].Start
+	}
+	// Last epoch: assume the same length as the previous step.
+	if e.Index > 0 {
+		return e.Start + (e.Start - run.Epochs[e.Index-1].Start)
+	}
+	return e.Start + 1
+}

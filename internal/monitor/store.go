@@ -1,0 +1,102 @@
+package monitor
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/series"
+)
+
+// Store is a concurrency-safe in-memory time-series database keyed by
+// metric/device id — the "storage" leg of the monitoring pipeline. It is
+// deliberately simple: what the experiments need is an accurate account of
+// what was retained, not a production TSDB.
+type Store struct {
+	mu       sync.RWMutex
+	data     map[string]*series.Series
+	points   int
+	capacity int
+}
+
+// ErrNoSeries is returned when querying an id that was never written.
+var ErrNoSeries = errors.New("monitor: no such series")
+
+// ErrStoreFull is returned when a bounded store cannot accept more points.
+var ErrStoreFull = errors.New("monitor: store capacity exceeded")
+
+// NewStore returns an empty store. capacity bounds the total number of
+// points (0 = unbounded), modeling the retention budget operators actually
+// face.
+func NewStore(capacity int) *Store {
+	return &Store{data: make(map[string]*series.Series), capacity: capacity}
+}
+
+// Append adds one point to the series with the given id.
+func (s *Store) Append(id string, p series.Point) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.capacity > 0 && s.points >= s.capacity {
+		return ErrStoreFull
+	}
+	ser, ok := s.data[id]
+	if !ok {
+		ser = &series.Series{}
+		s.data[id] = ser
+	}
+	ser.Append(p)
+	s.points++
+	return nil
+}
+
+// AppendUniform stores every sample of a uniform trace under id.
+func (s *Store) AppendUniform(id string, u *series.Uniform) error {
+	for i, v := range u.Values {
+		if err := s.Append(id, series.Point{Time: u.TimeAt(i), Value: v}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Query returns the stored samples for id within [from, to).
+func (s *Store) Query(id string, from, to time.Time) (*series.Series, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ser, ok := s.data[id]
+	if !ok {
+		return nil, ErrNoSeries
+	}
+	return ser.Window(from, to), nil
+}
+
+// Full returns the complete stored series for id.
+func (s *Store) Full(id string) (*series.Series, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ser, ok := s.data[id]
+	if !ok {
+		return nil, ErrNoSeries
+	}
+	return series.New(ser.Points()), nil
+}
+
+// IDs returns the stored series ids, sorted.
+func (s *Store) IDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.data))
+	for id := range s.data {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Points returns the total number of stored points.
+func (s *Store) Points() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.points
+}

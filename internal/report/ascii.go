@@ -1,0 +1,172 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// AsciiPlot renders a curve as a fixed-size character grid: the terminal
+// rendition of a paper figure.
+type AsciiPlot struct {
+	// Width and Height are the plot area dimensions in characters.
+	Width, Height int
+	// LogX plots the x axis in log scale (Fig. 4 style).
+	LogX bool
+	// Title is printed above the grid.
+	Title string
+	// Marker is the curve glyph; 0 selects '*'.
+	Marker byte
+}
+
+// Render draws the points. Non-finite points are skipped; with LogX,
+// non-positive x values are skipped too.
+func (p AsciiPlot) Render(points []Point) string {
+	w, h := p.Width, p.Height
+	if w < 8 {
+		w = 60
+	}
+	if h < 4 {
+		h = 16
+	}
+	marker := p.Marker
+	if marker == 0 {
+		marker = '*'
+	}
+	usable := make([]Point, 0, len(points))
+	for _, pt := range points {
+		if math.IsNaN(pt.X) || math.IsNaN(pt.Y) || math.IsInf(pt.X, 0) || math.IsInf(pt.Y, 0) {
+			continue
+		}
+		if p.LogX && pt.X <= 0 {
+			continue
+		}
+		usable = append(usable, pt)
+	}
+	if len(usable) == 0 {
+		return p.Title + "\n(no data)\n"
+	}
+	xlo, xhi := math.Inf(1), math.Inf(-1)
+	ylo, yhi := math.Inf(1), math.Inf(-1)
+	for _, pt := range usable {
+		x := pt.X
+		if p.LogX {
+			x = math.Log10(x)
+		}
+		xlo, xhi = math.Min(xlo, x), math.Max(xhi, x)
+		ylo, yhi = math.Min(ylo, pt.Y), math.Max(yhi, pt.Y)
+	}
+	if xhi == xlo {
+		xhi = xlo + 1
+	}
+	if yhi == ylo {
+		yhi = ylo + 1
+	}
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for _, pt := range usable {
+		x := pt.X
+		if p.LogX {
+			x = math.Log10(x)
+		}
+		col := int((x - xlo) / (xhi - xlo) * float64(w-1))
+		row := h - 1 - int((pt.Y-ylo)/(yhi-ylo)*float64(h-1))
+		if col >= 0 && col < w && row >= 0 && row < h {
+			grid[row][col] = marker
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		b.WriteString(p.Title)
+		b.WriteByte('\n')
+	}
+	for _, line := range grid {
+		b.WriteString("|")
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	b.WriteString("+" + strings.Repeat("-", w) + "\n")
+	if p.LogX {
+		fmt.Fprintf(&b, " x: %.3g .. %.3g (log)   y: %.3g .. %.3g\n",
+			math.Pow(10, xlo), math.Pow(10, xhi), ylo, yhi)
+	} else {
+		fmt.Fprintf(&b, " x: %.3g .. %.3g   y: %.3g .. %.3g\n", xlo, xhi, ylo, yhi)
+	}
+	return b.String()
+}
+
+// Bar renders a horizontal bar chart of labelled fractions in [0, 1] —
+// the Fig. 1 rendition.
+func Bar(title string, labels []string, fractions []float64, width int) string {
+	if width < 10 {
+		width = 40
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for i, l := range labels {
+		f := 0.0
+		if i < len(fractions) {
+			f = math.Max(0, math.Min(1, fractions[i]))
+		}
+		n := int(f * float64(width))
+		fmt.Fprintf(&b, "%-*s |%s%s| %5.1f%%\n", labelW, l,
+			strings.Repeat("#", n), strings.Repeat(" ", width-n), 100*f)
+	}
+	return b.String()
+}
+
+// BoxRow renders a five-number summary as a text box-whisker spanning
+// [axisLo, axisHi] (log scale when log is true) — one row of Fig. 5.
+func BoxRow(label string, mn, q1, med, q3, mx, axisLo, axisHi float64, width int, log bool) string {
+	if width < 10 {
+		width = 50
+	}
+	pos := func(v float64) int {
+		if log {
+			if v <= 0 || axisLo <= 0 {
+				return 0
+			}
+			v, axisLoL, axisHiL := math.Log10(v), math.Log10(axisLo), math.Log10(axisHi)
+			if axisHiL == axisLoL {
+				return 0
+			}
+			return clampInt(int((v-axisLoL)/(axisHiL-axisLoL)*float64(width-1)), 0, width-1)
+		}
+		if axisHi == axisLo {
+			return 0
+		}
+		return clampInt(int((v-axisLo)/(axisHi-axisLo)*float64(width-1)), 0, width-1)
+	}
+	line := []byte(strings.Repeat(" ", width))
+	for i := pos(mn); i <= pos(mx) && i < width; i++ {
+		line[i] = '-'
+	}
+	for i := pos(q1); i <= pos(q3) && i < width; i++ {
+		line[i] = '='
+	}
+	line[pos(mn)] = '|'
+	line[pos(mx)] = '|'
+	line[pos(med)] = 'M'
+	return fmt.Sprintf("%-20s %s", label, string(line))
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

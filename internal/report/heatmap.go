@@ -1,0 +1,117 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Heatmap renders a matrix (rows = y, ascending upward; columns = x) as
+// ASCII shades — the terminal form of a spectrogram.
+type Heatmap struct {
+	// Title is printed above the grid.
+	Title string
+	// Log compresses values logarithmically before shading, the usual
+	// choice for spectral power.
+	Log bool
+	// MaxWidth and MaxHeight bound the rendered size; larger matrices
+	// are decimated. Zero selects 72x16.
+	MaxWidth, MaxHeight int
+}
+
+var shades = []byte(" .:-=+*#%@")
+
+// Render draws the matrix: data[c][r] is column c (time), row r
+// (frequency, drawn bottom-up). Ragged or empty input yields "(no data)".
+func (h Heatmap) Render(data [][]float64) string {
+	w := h.MaxWidth
+	if w <= 0 {
+		w = 72
+	}
+	ht := h.MaxHeight
+	if ht <= 0 {
+		ht = 16
+	}
+	if len(data) == 0 || len(data[0]) == 0 {
+		return h.Title + "\n(no data)\n"
+	}
+	rows := len(data[0])
+	for _, col := range data {
+		if len(col) != rows {
+			return h.Title + "\n(no data)\n"
+		}
+	}
+	cols := len(data)
+	// Decimation strides.
+	cStep := (cols + w - 1) / w
+	rStep := (rows + ht - 1) / ht
+	outCols := (cols + cStep - 1) / cStep
+	outRows := (rows + rStep - 1) / rStep
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	val := func(c, r int) float64 {
+		// Max-pool the decimated cell so narrow spectral lines survive.
+		var m float64 = math.Inf(-1)
+		for cc := c * cStep; cc < (c+1)*cStep && cc < cols; cc++ {
+			for rr := r * rStep; rr < (r+1)*rStep && rr < rows; rr++ {
+				v := data[cc][rr]
+				if h.Log {
+					v = math.Log10(v + 1e-30)
+				}
+				if v > m {
+					m = v
+				}
+			}
+		}
+		return m
+	}
+	cells := make([][]float64, outCols)
+	for c := range cells {
+		cells[c] = make([]float64, outRows)
+		for r := range cells[c] {
+			v := val(c, r)
+			cells[c][r] = v
+			if !math.IsInf(v, 0) && !math.IsNaN(v) {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	var b strings.Builder
+	if h.Title != "" {
+		b.WriteString(h.Title)
+		b.WriteByte('\n')
+	}
+	for r := outRows - 1; r >= 0; r-- {
+		b.WriteByte('|')
+		for c := 0; c < outCols; c++ {
+			v := cells[c][r]
+			var idx int
+			if !math.IsInf(v, 0) && !math.IsNaN(v) {
+				idx = int((v - lo) / (hi - lo) * float64(len(shades)-1))
+			}
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			b.WriteByte(shades[idx])
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("+" + strings.Repeat("-", outCols) + " (time ->, frequency ^)\n")
+	if h.Log {
+		fmt.Fprintf(&b, " shade: log10 power %.3g .. %.3g\n", lo, hi)
+	} else {
+		fmt.Fprintf(&b, " shade: %.3g .. %.3g\n", lo, hi)
+	}
+	return b.String()
+}

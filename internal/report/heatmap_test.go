@@ -1,0 +1,71 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeatmapRender(t *testing.T) {
+	// 40 columns x 8 rows; a bright diagonal band.
+	data := make([][]float64, 40)
+	for c := range data {
+		data[c] = make([]float64, 8)
+		data[c][c*8/40] = 100
+	}
+	out := Heatmap{Title: "spec"}.Render(data)
+	if !strings.Contains(out, "spec") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "@") {
+		t.Fatalf("no bright cells:\n%s", out)
+	}
+	if !strings.Contains(out, "frequency") {
+		t.Fatal("axis legend missing")
+	}
+}
+
+func TestHeatmapLogScale(t *testing.T) {
+	data := [][]float64{{1e-9, 1e-3}, {1e-6, 1}}
+	out := Heatmap{Log: true}.Render(data)
+	if !strings.Contains(out, "log10") {
+		t.Fatal("log legend missing")
+	}
+}
+
+func TestHeatmapDegenerate(t *testing.T) {
+	if out := (Heatmap{Title: "t"}).Render(nil); !strings.Contains(out, "(no data)") {
+		t.Fatal("nil input should say no data")
+	}
+	if out := (Heatmap{}).Render([][]float64{{}}); !strings.Contains(out, "(no data)") {
+		t.Fatal("empty column should say no data")
+	}
+	// Ragged.
+	if out := (Heatmap{}).Render([][]float64{{1, 2}, {1}}); !strings.Contains(out, "(no data)") {
+		t.Fatal("ragged input should say no data")
+	}
+	// Constant matrix must not divide by zero.
+	out := (Heatmap{}).Render([][]float64{{5, 5}, {5, 5}})
+	if strings.Contains(out, "NaN") {
+		t.Fatal("constant heatmap produced NaN")
+	}
+}
+
+func TestHeatmapDecimation(t *testing.T) {
+	// 500x200 decimated into <=72x16 with max-pooling: the single hot
+	// cell must survive.
+	data := make([][]float64, 500)
+	for c := range data {
+		data[c] = make([]float64, 200)
+	}
+	data[250][100] = 1
+	out := Heatmap{MaxWidth: 60, MaxHeight: 12}.Render(data)
+	if !strings.Contains(out, "@") {
+		t.Fatalf("hot cell lost in decimation:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	for _, l := range lines {
+		if len(l) > 80 {
+			t.Fatalf("line too wide: %d", len(l))
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package series
+
+import (
+	"errors"
+	"time"
+)
+
+// AlignToCommonGrid regularizes several (possibly irregular, differently
+// polled) series onto one shared uniform grid: the overlap of their time
+// spans, sampled at the coarsest of their median intervals. This is the
+// preparation step for joint (multivariate) analysis, which requires all
+// members to share a sample rate — correlations computed on mismatched
+// grids are meaningless.
+//
+// The returned signals all have the same Start, Interval and length.
+func AlignToCommonGrid(seriesList []*Series, ip Interpolation) ([]*Uniform, error) {
+	if len(seriesList) == 0 {
+		return nil, errors.New("series: nothing to align")
+	}
+	var (
+		start    time.Time
+		end      time.Time
+		interval time.Duration
+	)
+	for i, s := range seriesList {
+		if s == nil || s.Len() == 0 {
+			return nil, errors.New("series: empty member in alignment set")
+		}
+		st, err := s.Start()
+		if err != nil {
+			return nil, err
+		}
+		en, err := s.End()
+		if err != nil {
+			return nil, err
+		}
+		med, err := s.MedianInterval()
+		if err != nil {
+			return nil, err
+		}
+		if med <= 0 {
+			return nil, ErrBadInterval
+		}
+		if i == 0 {
+			start, end, interval = st, en, med
+			continue
+		}
+		if st.After(start) {
+			start = st
+		}
+		if en.Before(end) {
+			end = en
+		}
+		if med > interval {
+			interval = med
+		}
+	}
+	if !end.After(start) {
+		return nil, errors.New("series: alignment members do not overlap in time")
+	}
+	n := int(end.Sub(start)/interval) + 1
+	if n < 2 {
+		return nil, ErrTooShort
+	}
+	out := make([]*Uniform, len(seriesList))
+	for i, s := range seriesList {
+		u, err := s.Window(start, end.Add(time.Nanosecond)).Regularize(interval, ip)
+		if err != nil {
+			return nil, err
+		}
+		// Regularize anchors at the member's first in-window sample;
+		// re-anchor every member at the common start by padding or
+		// trimming to the shared grid.
+		vals := make([]float64, n)
+		for j := 0; j < n; j++ {
+			t := start.Add(time.Duration(j) * interval)
+			idx := int(t.Sub(u.Start) / interval)
+			switch {
+			case idx < 0:
+				vals[j] = u.Values[0]
+			case idx >= len(u.Values):
+				vals[j] = u.Values[len(u.Values)-1]
+			default:
+				vals[j] = u.Values[idx]
+			}
+		}
+		out[i] = &Uniform{Start: start, Interval: interval, Values: vals}
+	}
+	return out, nil
+}

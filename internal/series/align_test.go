@@ -1,0 +1,82 @@
+package series
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestAlignToCommonGrid(t *testing.T) {
+	// Member A: 10 s polls over [0, 1000]; member B: 30 s polls over
+	// [300, 1500]. Overlap [300, 1000], coarsest interval 30 s.
+	a := &Series{}
+	for i := 0; i <= 100; i++ {
+		a.AppendValue(t0.Add(time.Duration(i)*10*time.Second), float64(i))
+	}
+	b := &Series{}
+	for i := 10; i <= 50; i++ {
+		b.AppendValue(t0.Add(time.Duration(i)*30*time.Second), 1000+float64(i))
+	}
+	aligned, err := AlignToCommonGrid([]*Series{a, b}, NearestNeighbor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ua, ub := aligned[0], aligned[1]
+	if !ua.Start.Equal(ub.Start) || ua.Interval != ub.Interval || ua.Len() != ub.Len() {
+		t.Fatalf("grids differ: %v/%v/%d vs %v/%v/%d",
+			ua.Start, ua.Interval, ua.Len(), ub.Start, ub.Interval, ub.Len())
+	}
+	if !ua.Start.Equal(t0.Add(300 * time.Second)) {
+		t.Fatalf("start = %v, want t0+300s", ua.Start)
+	}
+	if ua.Interval != 30*time.Second {
+		t.Fatalf("interval = %v, want 30s", ua.Interval)
+	}
+	// Overlap 300..1000 s at 30 s: indices 0..23 -> 24 samples
+	// (the last grid point at 990 s; 1020 s would exceed member A).
+	wantLen := int((1000-300)/30) + 1
+	if ua.Len() != wantLen {
+		t.Fatalf("len = %d, want %d", ua.Len(), wantLen)
+	}
+	// Values: member A at grid point j is the sample nearest to
+	// (300 + 30j) s, i.e. value (300+30j)/10.
+	for j := 0; j < ua.Len(); j++ {
+		want := float64(300+30*j) / 10
+		if math.Abs(ua.Values[j]-want) > 1e-12 {
+			t.Fatalf("A[%d] = %v, want %v", j, ua.Values[j], want)
+		}
+	}
+}
+
+func TestAlignErrors(t *testing.T) {
+	if _, err := AlignToCommonGrid(nil, NearestNeighbor); err == nil {
+		t.Fatal("empty set should fail")
+	}
+	if _, err := AlignToCommonGrid([]*Series{{}}, NearestNeighbor); err == nil {
+		t.Fatal("empty member should fail")
+	}
+	// Non-overlapping members.
+	a := &Series{}
+	b := &Series{}
+	for i := 0; i < 10; i++ {
+		a.AppendValue(t0.Add(time.Duration(i)*time.Second), 1)
+		b.AppendValue(t0.Add(time.Duration(i+100)*time.Second), 2)
+	}
+	if _, err := AlignToCommonGrid([]*Series{a, b}, NearestNeighbor); err == nil {
+		t.Fatal("disjoint spans should fail")
+	}
+}
+
+func TestAlignSingleMember(t *testing.T) {
+	a := &Series{}
+	for i := 0; i < 50; i++ {
+		a.AppendValue(t0.Add(time.Duration(i)*time.Minute), float64(i%7))
+	}
+	aligned, err := AlignToCommonGrid([]*Series{a}, Linear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aligned) != 1 || aligned[0].Interval != time.Minute {
+		t.Fatalf("aligned = %+v", aligned[0])
+	}
+}

@@ -1,0 +1,140 @@
+package series
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample set.
+type Summary struct {
+	Count    int
+	Mean     float64
+	Variance float64 // population variance
+	Std      float64
+	Min      float64
+	Max      float64
+	RMS      float64
+}
+
+// Summarize computes descriptive statistics over values. An empty input
+// yields a zero Summary.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	s := Summary{
+		Count: len(values),
+		Min:   math.Inf(1),
+		Max:   math.Inf(-1),
+	}
+	var sum, sumSq float64
+	for _, v := range values {
+		sum += v
+		sumSq += v * v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	n := float64(len(values))
+	s.Mean = sum / n
+	s.Variance = sumSq/n - s.Mean*s.Mean
+	if s.Variance < 0 {
+		s.Variance = 0 // rounding guard
+	}
+	s.Std = math.Sqrt(s.Variance)
+	s.RMS = math.Sqrt(sumSq / n)
+	return s
+}
+
+// Mean returns the arithmetic mean of values (0 for empty input).
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// Detrend returns a copy of values with the mean removed. Removing DC is a
+// prerequisite for energy-fraction Nyquist estimation (DESIGN.md choice 2).
+func Detrend(values []float64) []float64 {
+	m := Mean(values)
+	out := make([]float64, len(values))
+	for i, v := range values {
+		out[i] = v - m
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile (0..100) of values using linear
+// interpolation between order statistics. It returns NaN for empty input
+// and clamps p to [0, 100].
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// FiveNumber is a box-plot summary: minimum, lower quartile, median, upper
+// quartile and maximum.
+type FiveNumber struct {
+	Min, Q1, Median, Q3, Max float64
+}
+
+// BoxStats computes the five-number summary used by the Fig. 5 driver.
+func BoxStats(values []float64) FiveNumber {
+	return FiveNumber{
+		Min:    Percentile(values, 0),
+		Q1:     Percentile(values, 25),
+		Median: Percentile(values, 50),
+		Q3:     Percentile(values, 75),
+		Max:    Percentile(values, 100),
+	}
+}
+
+// Diff returns the first difference of values: out[i] = values[i+1] -
+// values[i]. Monotone counters are differenced into rates before spectral
+// analysis.
+func Diff(values []float64) []float64 {
+	if len(values) < 2 {
+		return nil
+	}
+	out := make([]float64, len(values)-1)
+	for i := range out {
+		out[i] = values[i+1] - values[i]
+	}
+	return out
+}
+
+// IsMonotone reports whether values never decrease — the signature of a raw
+// counter metric that should be differenced before analysis.
+func IsMonotone(values []float64) bool {
+	for i := 1; i < len(values); i++ {
+		if values[i] < values[i-1] {
+			return false
+		}
+	}
+	return len(values) > 0
+}

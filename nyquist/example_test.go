@@ -1,0 +1,67 @@
+package nyquist_test
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/nyquist"
+)
+
+// ExampleEstimator demonstrates the paper's §3.2 method on a day of
+// one-minute polls: the signal completes 12 cycles per day, so its
+// Nyquist rate is 24 cycles per day and the 1-minute polling is 60x too
+// fast.
+func ExampleEstimator() {
+	start := time.Date(2021, 11, 10, 0, 0, 0, 0, time.UTC)
+	vals := make([]float64, 1440)
+	for i := range vals {
+		t := float64(i) * 60
+		vals[i] = 50 + 5*math.Sin(2*math.Pi*12/86400*t)
+	}
+	trace, _ := nyquist.NewUniform(start, time.Minute, vals)
+
+	var est nyquist.Estimator // zero value = the paper's defaults
+	res, err := est.Estimate(trace)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("nyquist rate: %.1f cycles/day\n", res.NyquistRate*86400)
+	fmt.Printf("oversampling: %.0fx\n", res.ReductionRatio)
+	// Output:
+	// nyquist rate: 24.0 cycles/day
+	// oversampling: 60x
+}
+
+// ExampleRoundTrip shows the Fig. 6 experiment: keep only Nyquist-rate
+// samples and reconstruct the rest on demand.
+func ExampleRoundTrip() {
+	start := time.Date(2021, 11, 10, 0, 0, 0, 0, time.UTC)
+	vals := make([]float64, 1440)
+	for i := range vals {
+		vals[i] = math.Sin(2 * math.Pi * 12 * float64(i) / 1440)
+	}
+	trace, _ := nyquist.NewUniform(start, time.Minute, vals)
+
+	_, fid, err := nyquist.RoundTrip(trace, 1.5*24.0/86400, nyquist.ReconstructConfig{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("kept %d of %d samples\n", fid.SamplesAfter, fid.SamplesBefore)
+	fmt.Printf("lossless: %v\n", fid.L2 < 1e-6)
+	// Output:
+	// kept 36 of 1440 samples
+	// lossless: true
+}
+
+// ExampleValidateRatePair shows the §4.1 constraint on dual-rate probe
+// pairs: integer ratios are blind to aliasing and are rejected.
+func ExampleValidateRatePair() {
+	fmt.Println(nyquist.ValidateRatePair(10, 5))
+	fmt.Println(nyquist.ValidateRatePair(10, nyquist.SuggestSlowRate(10)))
+	// Output:
+	// core: dual-rate sampling requires a non-integer rate ratio
+	// <nil>
+}
