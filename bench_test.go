@@ -12,6 +12,8 @@ package repro
 // paper's 1613) to keep iterations short; cmd/repro runs the full size.
 
 import (
+	"fmt"
+	"math"
 	"testing"
 	"time"
 
@@ -251,6 +253,90 @@ func BenchmarkAblationInterpolation(b *testing.B) {
 				if _, err := s.Regularize(30*time.Second, ip); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamVsBatchRefresh measures the cost of keeping a Nyquist
+// estimate fresh after each new poll — the live-monitoring workload. The
+// batch path re-runs a full-trace FFT per poll, O(N log N); the streaming
+// engine slides its spectral state, O(N) with a far smaller constant. The
+// sizes sweep from a 1-day/1-minute trace to a 1-day/1-second trace to
+// show the gap widening with trace length.
+func BenchmarkStreamVsBatchRefresh(b *testing.B) {
+	start := time.Date(2021, 11, 10, 0, 0, 0, 0, time.UTC)
+	for _, size := range []struct {
+		name     string
+		n        int
+		interval time.Duration
+	}{
+		{"1day-1min", 1440, time.Minute},
+		{"1day-15s", 5760, 15 * time.Second},
+		{"1day-1s", 86400, time.Second},
+	} {
+		vals := make([]float64, size.n)
+		for i := range vals {
+			ts := float64(i) * size.interval.Seconds()
+			vals[i] = 50 + 5*math.Sin(2*math.Pi*12/86400*ts) + 2*math.Sin(2*math.Pi*40/86400*ts)
+		}
+		u, err := nyquist.NewUniform(start, size.interval, vals)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("batch/"+size.name, func(b *testing.B) {
+			var est nyquist.Estimator
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := est.Estimate(u); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("stream/"+size.name, func(b *testing.B) {
+			st, err := nyquist.NewStreamEstimator(nyquist.StreamConfig{
+				Interval:      size.interval,
+				WindowSamples: size.n,
+				EmitEvery:     1 << 30,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, v := range vals {
+				st.Push(v)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.Push(vals[i%len(vals)])
+				if _, err := st.Current(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFleetScanner measures the concurrent fleet census across pool
+// sizes: throughput should scale with workers up to GOMAXPROCS.
+func BenchmarkFleetScanner(b *testing.B) {
+	f, err := fleet.NewFleet(fleet.FleetConfig{Seed: 7, TotalPairs: 140})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			sc, err := fleet.NewScanner(fleet.ScanConfig{Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := sc.ScanAll(f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(rep.Pairs), "pairs")
 			}
 		})
 	}

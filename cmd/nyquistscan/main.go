@@ -1,4 +1,4 @@
-// Command nyquistscan audits a monitoring trace: it reads timestamp,value
+// Command nyquistscan audits monitoring traces: it reads timestamp,value
 // CSV from a file or stdin, estimates the signal's Nyquist rate with the
 // paper's method (§3.2), and reports how much the current collection rate
 // could be reduced.
@@ -6,9 +6,15 @@
 // Usage:
 //
 //	nyquistscan [-cutoff 0.99] [-welch] [-window 6h -step 5m] [file.csv]
+//	nyquistscan -fleet 1000 [-workers 8]
 //
-// With -window the trace is additionally scanned with a moving window
-// (Fig. 7 style) and the per-window rates are printed.
+// With -window the trace is additionally scanned with a sliding window:
+// the samples are replayed through the streaming estimator, which keeps
+// the spectral state incrementally (O(window) per sample instead of an
+// FFT per window) and emits one Fig. 7-style line per step.
+//
+// With -fleet the command audits a simulated datacenter instead of a
+// trace, sharding the devices across the concurrent fleet scanner.
 package main
 
 import (
@@ -26,14 +32,22 @@ import (
 
 func main() {
 	var (
-		cutoff  = flag.Float64("cutoff", nyquist.DefaultEnergyCutoff, "energy fraction cut-off")
-		welch   = flag.Bool("welch", false, "use Welch averaging (noise-robust)")
-		window  = flag.Duration("window", 0, "moving-window length (0 = whole trace only)")
-		step    = flag.Duration("step", 5*time.Minute, "moving-window step")
-		counter = flag.Bool("counter", false, "treat the trace as a cumulative counter (difference into a rate first)")
-		linear  = flag.Bool("lineardetrend", false, "remove a least-squares line instead of the mean (robust for short windows)")
+		cutoff    = flag.Float64("cutoff", nyquist.DefaultEnergyCutoff, "energy fraction cut-off")
+		welch     = flag.Bool("welch", false, "use Welch averaging (noise-robust)")
+		window    = flag.Duration("window", 0, "sliding-window length (0 = whole trace only)")
+		step      = flag.Duration("step", 5*time.Minute, "sliding-window step")
+		counter   = flag.Bool("counter", false, "treat the trace as a cumulative counter (difference into a rate first)")
+		linear    = flag.Bool("lineardetrend", false, "remove a least-squares line instead of the mean (robust for short windows)")
+		fleetSize = flag.Int("fleet", 0, "audit a simulated fleet of this many metric/device pairs instead of a trace")
+		workers   = flag.Int("workers", 0, "fleet scan worker pool size (0 = GOMAXPROCS)")
+		seed      = flag.Int64("seed", 7, "fleet generation seed")
 	)
 	flag.Parse()
+
+	if *fleetSize > 0 {
+		scanFleet(*fleetSize, *workers, *seed, *cutoff)
+		return
+	}
 
 	var in io.Reader = os.Stdin
 	name := "stdin"
@@ -98,22 +112,101 @@ func main() {
 	}
 
 	if *window > 0 {
-		wins, err := est.MovingWindow(u, *window, *step)
-		if err != nil {
-			fatal(fmt.Errorf("moving window: %w", err))
-		}
-		fmt.Printf("\nmoving-window scan (%v window, %v step):\n", *window, *step)
-		for _, w := range wins {
-			switch {
-			case errors.Is(w.Err, nyquist.ErrAliased):
-				fmt.Printf("  %s  aliased\n", w.WindowStart.Format(time.RFC3339))
-			case w.Err != nil:
-				fmt.Printf("  %s  error: %v\n", w.WindowStart.Format(time.RFC3339), w.Err)
-			default:
-				fmt.Printf("  %s  %.4g Hz\n", w.WindowStart.Format(time.RFC3339), w.Result.NyquistRate)
+		// The streaming engine reproduces the paper-default estimator
+		// (plain FFT, mean detrend); variant configurations keep the
+		// batch moving-window path so the flags stay honored.
+		if *welch || *linear {
+			if err := batchScan(est, u, *window, *step); err != nil {
+				fatal(fmt.Errorf("moving window: %w", err))
 			}
+		} else if err := streamScan(u, *window, *step, *cutoff); err != nil {
+			fatal(fmt.Errorf("sliding window: %w", err))
 		}
 	}
+}
+
+// batchScan runs the batch estimator over moving windows — the path for
+// estimator variants (Welch, linear detrend) the streaming engine does
+// not reproduce.
+func batchScan(est *nyquist.Estimator, u *nyquist.Uniform, window, step time.Duration) error {
+	wins, err := est.MovingWindow(u, window, step)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nmoving-window scan (%v window, %v step):\n", window, step)
+	for _, w := range wins {
+		switch {
+		case errors.Is(w.Err, nyquist.ErrAliased):
+			fmt.Printf("  %s  aliased\n", w.WindowStart.Format(time.RFC3339))
+		case w.Err != nil:
+			fmt.Printf("  %s  error: %v\n", w.WindowStart.Format(time.RFC3339), w.Err)
+		default:
+			fmt.Printf("  %s  %.4g Hz\n", w.WindowStart.Format(time.RFC3339), w.Result.NyquistRate)
+		}
+	}
+	return nil
+}
+
+// streamScan replays the trace through the streaming estimator, printing
+// one line per emitted window — the incremental version of the Fig. 7
+// moving-window scan.
+func streamScan(u *nyquist.Uniform, window, step time.Duration, cutoff float64) error {
+	winSamples := int(window / u.Interval)
+	if winSamples < 2 {
+		// Guard before StreamConfig, whose zero WindowSamples would
+		// silently select the 1024-sample default.
+		return nyquist.ErrTooShort
+	}
+	stepSamples := int(step / u.Interval)
+	if stepSamples < 1 {
+		stepSamples = 1
+	}
+	st, err := nyquist.NewStreamEstimator(nyquist.StreamConfig{
+		Interval:      u.Interval,
+		WindowSamples: winSamples,
+		EmitEvery:     stepSamples,
+		EnergyCutoff:  cutoff,
+		Start:         u.Start,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsliding-window scan (%v window, %v step, streaming):\n", window, step)
+	n := 0
+	for _, up := range st.Feed(u.Values) {
+		n++
+		switch {
+		case errors.Is(up.Err, nyquist.ErrAliased):
+			fmt.Printf("  %s  aliased (streak %d) — try polling every %v\n",
+				up.WindowStart.Format(time.RFC3339), up.AliasStreak, up.SuggestedInterval)
+		case up.Err != nil:
+			fmt.Printf("  %s  error: %v\n", up.WindowStart.Format(time.RFC3339), up.Err)
+		default:
+			fmt.Printf("  %s  %.4g Hz (sweet-spot poll every %v)\n",
+				up.WindowStart.Format(time.RFC3339), up.Result.NyquistRate, roundInterval(up.SuggestedInterval))
+		}
+	}
+	if n == 0 {
+		return nyquist.ErrTooShort
+	}
+	return nil
+}
+
+// scanFleet audits a simulated datacenter with the concurrent scanner.
+func scanFleet(pairs, workers int, seed int64, cutoff float64) {
+	f, err := fleet.NewFleet(fleet.FleetConfig{Seed: seed, TotalPairs: pairs})
+	if err != nil {
+		fatal(err)
+	}
+	sc, err := fleet.NewScanner(fleet.ScanConfig{Workers: workers, EnergyCutoff: cutoff})
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := sc.ScanAll(f)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep.Render())
 }
 
 func largestGap(gaps []nyquist.Gap) time.Duration {
@@ -126,11 +219,24 @@ func largestGap(gaps []nyquist.Gap) time.Duration {
 	return max
 }
 
+// roundInterval rounds for display without collapsing sub-second
+// suggestions to "0s".
+func roundInterval(d time.Duration) time.Duration {
+	switch {
+	case d >= 10*time.Second:
+		return d.Round(time.Second)
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond)
+	default:
+		return d.Round(time.Millisecond)
+	}
+}
+
 func rateToInterval(rate float64) time.Duration {
 	if rate <= 0 {
 		return 0
 	}
-	return time.Duration(float64(time.Second) / rate).Round(time.Second)
+	return roundInterval(time.Duration(float64(time.Second) / rate))
 }
 
 func fatal(err error) {

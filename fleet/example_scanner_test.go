@@ -1,0 +1,35 @@
+package fleet_test
+
+import (
+	"fmt"
+
+	"repro/fleet"
+)
+
+// ExampleScanner audits a small synthetic fleet concurrently: per-device
+// results stream over a channel as workers finish them, and the aggregate
+// is deterministic however the scan was scheduled.
+func ExampleScanner() {
+	f, err := fleet.NewFleet(fleet.FleetConfig{Seed: 7, TotalPairs: 56})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sc, err := fleet.NewScanner(fleet.ScanConfig{Workers: 4})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	rep, err := sc.ScanAll(f)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("pairs audited: %d\n", rep.Pairs)
+	fmt.Printf("aliased pairs: %d\n", rep.Aliased)
+	fmt.Printf("pipeline reduction: %.0fx\n", rep.PipelineReduction())
+	// Output:
+	// pairs audited: 56
+	// aliased pairs: 10
+	// pipeline reduction: 7x
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/dsp"
+	"repro/internal/series"
+)
+
+// StreamConfig parameterizes a StreamEstimator.
+type StreamConfig struct {
+	// Interval is the spacing of the incoming polls. Required.
+	Interval time.Duration
+	// WindowSamples is the sliding analysis window length; zero selects
+	// 1024. Windows shorter than 16 samples are rejected, matching the
+	// batch estimator's minimum.
+	WindowSamples int
+	// EnergyCutoff is the energy fraction threshold; zero selects
+	// DefaultEnergyCutoff. Values must lie in (0, 1].
+	EnergyCutoff float64
+	// AliasedGuard is the fraction of the analyzed band the cut-off may
+	// reach before a window is declared aliased; zero selects 0.95 (see
+	// EstimatorConfig.AliasedGuard).
+	AliasedGuard float64
+	// EmitEvery is the number of pushes between emitted updates once the
+	// window is full; zero selects 1 (an update per poll).
+	EmitEvery int
+	// ResyncEvery is the number of pushes between exact FFT
+	// re-derivations of the sliding spectral state; zero selects
+	// WindowSamples. The first full window always coincides with a
+	// resync, so the first emission is FFT-exact.
+	ResyncEvery int
+	// Headroom multiplies the estimated Nyquist rate when suggesting a
+	// poll interval; zero selects 1.2 (sampling exactly at the critical
+	// rate leaves the top component ambiguous).
+	Headroom float64
+	// Start, when set, anchors update timestamps: sample i is taken to
+	// occur at Start + i*Interval.
+	Start time.Time
+	// EmitSpectrum attaches a copy of the window PSD to each emitted
+	// Result. Off by default so the steady-state push path allocates
+	// nothing.
+	EmitSpectrum bool
+}
+
+func (c StreamConfig) withDefaults() (StreamConfig, error) {
+	if c.Interval <= 0 {
+		return c, series.ErrBadInterval
+	}
+	if c.WindowSamples == 0 {
+		c.WindowSamples = 1024
+	}
+	if c.WindowSamples < 16 {
+		return c, ErrTooShort
+	}
+	if c.EnergyCutoff == 0 {
+		c.EnergyCutoff = DefaultEnergyCutoff
+	}
+	// Reuse the batch validation for the shared knobs.
+	if _, err := (EstimatorConfig{EnergyCutoff: c.EnergyCutoff, AliasedGuard: c.AliasedGuard}).withDefaults(); err != nil {
+		return c, err
+	}
+	if c.AliasedGuard <= 0 {
+		c.AliasedGuard = 0.95
+	}
+	if c.EmitEvery <= 0 {
+		c.EmitEvery = 1
+	}
+	if c.Headroom <= 1 {
+		c.Headroom = 1.2
+	}
+	return c, nil
+}
+
+// StreamUpdate is one emission of a streaming estimation: the estimate
+// over the window ending at the newest poll, plus the derived operator
+// guidance (aliasing risk and sweet-spot poll interval).
+type StreamUpdate struct {
+	// Index is the zero-based index of the newest sample in the stream.
+	Index int64
+	// Time is the newest sample's timestamp (zero unless StreamConfig
+	// carried a Start).
+	Time time.Time
+	// WindowStart is the timestamp of the oldest sample in the analyzed
+	// window (zero unless StreamConfig carried a Start).
+	WindowStart time.Time
+	// Result is the estimate over the current window; its fields follow
+	// the batch Estimator's Result exactly.
+	Result *Result
+	// Err is ErrAliased when the window carries the aliased signature,
+	// mirroring the batch estimator's contract. The Result is still
+	// populated (with Aliased set) so consumers can render the window.
+	Err error
+	// AliasStreak counts consecutive emitted updates that were aliased,
+	// ending with this one — the operator's aliasing-risk signal: a
+	// one-window blip is likely noise, a growing streak means the poll
+	// rate is genuinely too low.
+	AliasStreak int
+	// SuggestedInterval is the sweet-spot poll interval: 1/(Headroom ×
+	// NyquistRate) for clean windows, half the current interval for
+	// aliased ones (the §4.2 move: poll faster until the rate becomes
+	// recoverable).
+	SuggestedInterval time.Duration
+}
+
+// StreamEstimator is the incremental counterpart of Estimator: it
+// maintains a sliding-window power spectrum over a live stream of polls
+// and re-derives the Nyquist rate, aliasing verdict and sweet-spot
+// suggestion in O(window) arithmetic per poll — where re-running the
+// batch estimator would cost a full O(N log N) FFT every time. Memory is
+// bounded by the window length no matter how long the stream runs.
+//
+// The spectral state is a sliding DFT (internal/dsp) that is periodically
+// re-derived with an exact FFT, so a StreamEstimator's results match the
+// batch Estimator (DetrendMean, rectangular window — the paper's §3.2
+// configuration) on the same window to floating-point accuracy. The mean
+// subtraction batch performs only affects the DC bin under a rectangular
+// window, and both estimators exclude DC from the energy budget.
+//
+// A StreamEstimator is not safe for concurrent use; shard streams across
+// estimators instead (fleet.Scanner does exactly that).
+type StreamEstimator struct {
+	cfg   StreamConfig
+	sd    *dsp.SlidingDFT
+	power []float64
+	freqs []float64
+	count int64
+	// streak is the current run of consecutive aliased emissions.
+	streak int
+	// ref is subtracted from every pushed value before it enters the
+	// spectral state. Removing a constant only changes the (excluded) DC
+	// bin in exact arithmetic, but without it a large offset — counters
+	// and gauges ride on them — scatters eps-level FFT rounding noise
+	// across all bins, which an exactly-constant signal would then read
+	// as a flat (aliased-looking) spectrum. Anchoring to the first
+	// sample keeps the analyzed magnitudes small, the same numerical
+	// conditioning the batch estimator gets from subtracting the mean.
+	ref     float64
+	haveRef bool
+}
+
+// NewStreamEstimator validates cfg and returns a StreamEstimator.
+func NewStreamEstimator(cfg StreamConfig) (*StreamEstimator, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	sd, err := dsp.NewSlidingDFT(c.WindowSamples, c.ResyncEvery)
+	if err != nil {
+		return nil, err
+	}
+	s := &StreamEstimator{
+		cfg:   c,
+		sd:    sd,
+		power: make([]float64, sd.Bins()),
+		freqs: make([]float64, sd.Bins()),
+	}
+	fs := 1 / c.Interval.Seconds()
+	df := fs / float64(c.WindowSamples)
+	for k := range s.freqs {
+		s.freqs[k] = float64(k) * df
+	}
+	return s, nil
+}
+
+// SampleRate returns the configured poll rate in hertz.
+func (s *StreamEstimator) SampleRate() float64 { return 1 / s.cfg.Interval.Seconds() }
+
+// WindowSamples returns the sliding window length.
+func (s *StreamEstimator) WindowSamples() int { return s.cfg.WindowSamples }
+
+// Seen returns the total number of polls pushed so far.
+func (s *StreamEstimator) Seen() int64 { return s.count }
+
+// Warm reports whether a full window has been seen, i.e. estimates
+// describe real samples only.
+func (s *StreamEstimator) Warm() bool { return s.count >= int64(s.cfg.WindowSamples) }
+
+// Reset clears the stream state for reuse on a new signal with the same
+// configuration, without reallocating.
+func (s *StreamEstimator) Reset() {
+	s.sd.Reset()
+	s.count = 0
+	s.streak = 0
+	s.ref = 0
+	s.haveRef = false
+}
+
+// Push ingests one poll. It returns a non-nil update when the window is
+// full and the emission cadence hits, nil otherwise. The steady-state
+// path performs O(window) float work and no allocation except for the
+// emitted update itself.
+func (s *StreamEstimator) Push(v float64) *StreamUpdate {
+	if !s.haveRef {
+		s.ref = v
+		s.haveRef = true
+	}
+	s.sd.Push(v - s.ref)
+	s.count++
+	w := int64(s.cfg.WindowSamples)
+	if s.count < w || (s.count-w)%int64(s.cfg.EmitEvery) != 0 {
+		return nil
+	}
+	return s.emit()
+}
+
+// Feed pushes every value of a trace and returns the emitted updates —
+// the streaming replacement for the batch MovingWindow scan.
+func (s *StreamEstimator) Feed(values []float64) []StreamUpdate {
+	var out []StreamUpdate
+	for _, v := range values {
+		if up := s.Push(v); up != nil {
+			out = append(out, *up)
+		}
+	}
+	return out
+}
+
+// Current computes the estimate over the present window without waiting
+// for the emission cadence. It returns ErrTooShort until a full window
+// has been seen, and ErrAliased (with a populated Result) for windows
+// carrying the aliased signature, mirroring the batch Estimate contract.
+func (s *StreamEstimator) Current() (*Result, error) {
+	if !s.Warm() {
+		return nil, ErrTooShort
+	}
+	res := s.estimate()
+	if res.Aliased {
+		return res, ErrAliased
+	}
+	return res, nil
+}
+
+// emit builds the cadence-gated update and maintains the alias streak.
+func (s *StreamEstimator) emit() *StreamUpdate {
+	res := s.estimate()
+	up := &StreamUpdate{
+		Index:  s.count - 1,
+		Result: res,
+	}
+	if !s.cfg.Start.IsZero() {
+		up.Time = s.cfg.Start.Add(time.Duration(up.Index) * s.cfg.Interval)
+		up.WindowStart = up.Time.Add(-time.Duration(s.cfg.WindowSamples-1) * s.cfg.Interval)
+	}
+	if res.Aliased {
+		up.Err = ErrAliased
+		s.streak++
+		up.SuggestedInterval = s.cfg.Interval / 2
+	} else {
+		s.streak = 0
+		if res.NyquistRate > 0 {
+			up.SuggestedInterval = time.Duration(float64(time.Second) / (s.cfg.Headroom * res.NyquistRate))
+		}
+	}
+	up.AliasStreak = s.streak
+	return up
+}
+
+// estimate derives a batch-equivalent Result from the sliding spectrum.
+func (s *StreamEstimator) estimate() *Result {
+	_ = s.sd.PSDInto(s.power) // length is fixed at construction
+	fs := s.SampleRate()
+	spec := dsp.Spectrum{Freqs: s.freqs, Power: s.power, SampleRate: fs}
+	// DC is excluded from the energy budget, matching the batch
+	// estimator's default (DetrendMean / !IncludeDC).
+	const startBin = 1
+	cutFreq, bin := spec.CumulativeCutoff(s.cfg.EnergyCutoff, startBin)
+	res := &Result{
+		CutoffFreq:     cutFreq,
+		SampleRate:     fs,
+		EnergyCaptured: capturedFraction(&spec, startBin, bin),
+	}
+	if s.cfg.EmitSpectrum {
+		res.Spectrum = &dsp.Spectrum{
+			Freqs:      append([]float64(nil), s.freqs...),
+			Power:      append([]float64(nil), s.power...),
+			SampleRate: fs,
+		}
+	}
+	if bin >= len(spec.Power)-1 || cutFreq >= s.cfg.AliasedGuard*fs/2 {
+		res.Aliased = true
+		return res
+	}
+	res.NyquistRate = 2 * cutFreq
+	if res.NyquistRate > 0 {
+		res.ReductionRatio = fs / res.NyquistRate
+	} else {
+		res.NyquistRate = 2 * spec.BinWidth()
+		if res.NyquistRate > 0 {
+			res.ReductionRatio = fs / res.NyquistRate
+		}
+	}
+	return res
+}

@@ -1,0 +1,157 @@
+package dsp
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+)
+
+// SlidingDFT maintains the DFT of the most recent N samples of a stream
+// incrementally: each Push retires the oldest sample and admits the newest
+// in O(N) bin updates, where a fresh FFT over the window would cost
+// O(N log N). It is the spectral state behind the streaming Nyquist
+// estimator — one bounded ring buffer plus one complex accumulator per
+// one-sided bin, regardless of how long the stream runs.
+//
+// The recurrence X_k ← (X_k − x_old + x_new)·e^{+j2πk/N} is exact in real
+// arithmetic but accumulates rounding drift under floating point, so the
+// state is periodically re-derived from the ring buffer with the package's
+// FFT (see ResyncEvery). Only the one-sided bins 0..N/2 are kept; the
+// analyzed signal is real, so the negative frequencies are conjugate
+// mirrors carrying no extra information.
+type SlidingDFT struct {
+	n       int
+	ring    []float64
+	head    int          // ring slot the next Push overwrites (= oldest sample once warm)
+	pushes  int64        // total samples ever pushed
+	bins    []complex128 // one-sided DFT of the current window, bins 0..n/2
+	twiddle []complex128 // e^{+j2πk/n} per bin
+	resync  int64        // exact recompute cadence in pushes
+	scratch []complex128 // FFT input reused by resyncs
+}
+
+// DefaultResyncEvery is the default number of pushes between exact FFT
+// re-derivations of the sliding state. One resync per window length keeps
+// the relative drift near machine epsilon while amortizing the FFT to
+// O(log N) per push.
+const DefaultResyncEvery = 0 // 0 selects the window length
+
+// ErrWindowTooSmall is returned for sliding windows shorter than 2 samples.
+var ErrWindowTooSmall = errors.New("dsp: sliding DFT window must hold at least 2 samples")
+
+// NewSlidingDFT returns a sliding DFT over windows of n samples.
+// resyncEvery is the number of pushes between exact FFT re-derivations;
+// zero selects n.
+func NewSlidingDFT(n int, resyncEvery int) (*SlidingDFT, error) {
+	if n < 2 {
+		return nil, ErrWindowTooSmall
+	}
+	if resyncEvery <= 0 {
+		resyncEvery = n
+	}
+	s := &SlidingDFT{
+		n:       n,
+		ring:    make([]float64, n),
+		bins:    make([]complex128, n/2+1),
+		twiddle: make([]complex128, n/2+1),
+		resync:  int64(resyncEvery),
+		scratch: make([]complex128, n),
+	}
+	for k := range s.twiddle {
+		s.twiddle[k] = cmplx.Exp(complex(0, 2*math.Pi*float64(k)/float64(n)))
+	}
+	return s, nil
+}
+
+// N returns the window length in samples.
+func (s *SlidingDFT) N() int { return s.n }
+
+// Bins returns the number of one-sided frequency bins (N/2 + 1).
+func (s *SlidingDFT) Bins() int { return len(s.bins) }
+
+// Pushes returns the total number of samples pushed so far.
+func (s *SlidingDFT) Pushes() int64 { return s.pushes }
+
+// Warm reports whether a full window has been seen, i.e. the bins describe
+// N real samples rather than a zero-padded prefix.
+func (s *SlidingDFT) Warm() bool { return s.pushes >= int64(s.n) }
+
+// Reset clears the state for reuse on a new stream without reallocating.
+func (s *SlidingDFT) Reset() {
+	for i := range s.ring {
+		s.ring[i] = 0
+	}
+	for i := range s.bins {
+		s.bins[i] = 0
+	}
+	s.head = 0
+	s.pushes = 0
+}
+
+// Push slides the window one sample forward. Until the window fills, the
+// retired value is the zero the ring was initialized with, so the bins
+// describe the zero-padded prefix; callers gate on Warm for exact results.
+func (s *SlidingDFT) Push(v float64) {
+	old := s.ring[s.head]
+	s.ring[s.head] = v
+	s.head++
+	if s.head == s.n {
+		s.head = 0
+	}
+	s.pushes++
+	if s.pushes%s.resync == 0 {
+		s.recompute()
+		return
+	}
+	d := complex(v-old, 0)
+	for k, w := range s.twiddle {
+		s.bins[k] = (s.bins[k] + d) * w
+	}
+}
+
+// recompute re-derives the bins exactly from the ring buffer, clearing the
+// rounding drift the O(N)-per-push recurrence accumulates.
+func (s *SlidingDFT) recompute() {
+	// Unroll the ring into window order: oldest sample first.
+	for i := 0; i < s.n; i++ {
+		s.scratch[i] = complex(s.ring[(s.head+i)%s.n], 0)
+	}
+	fftInPlace(s.scratch, false)
+	copy(s.bins, s.scratch[:len(s.bins)])
+}
+
+// Resync forces an immediate exact re-derivation of the bins.
+func (s *SlidingDFT) Resync() { s.recompute() }
+
+// PSDInto fills power with the one-sided PSD of the current window under
+// the Periodogram convention (rectangular window: bin powers sum to the
+// window's mean squared value). power must have length Bins().
+func (s *SlidingDFT) PSDInto(power []float64) error {
+	if len(power) != len(s.bins) {
+		return errors.New("dsp: sliding DFT power buffer has wrong length")
+	}
+	n := float64(s.n)
+	norm := 1 / (n * n)
+	for k, b := range s.bins {
+		re, im := real(b), imag(b)
+		p := (re*re + im*im) * norm
+		if k != 0 && !(s.n%2 == 0 && k == s.n/2) {
+			p *= 2
+		}
+		power[k] = p
+	}
+	return nil
+}
+
+// Window copies the current window contents, oldest sample first, into
+// dst (which must have length N) — the batch-estimator view of the same
+// samples, used by equivalence tests and aliased-window fallbacks.
+func (s *SlidingDFT) Window(dst []float64) error {
+	if len(dst) != s.n {
+		return errors.New("dsp: sliding DFT window buffer has wrong length")
+	}
+	for i := 0; i < s.n; i++ {
+		dst[i] = s.ring[(s.head+i)%s.n]
+	}
+	return nil
+}

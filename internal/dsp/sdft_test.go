@@ -1,0 +1,160 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSlidingDFTMatchesPeriodogram checks that once warm, the sliding PSD
+// equals a batch Periodogram over the same window, for power-of-two and
+// Bluestein-path window lengths alike.
+func TestSlidingDFTMatchesPeriodogram(t *testing.T) {
+	for _, n := range []int{16, 64, 100, 257} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		sd, err := NewSlidingDFT(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream := make([]float64, 3*n+n/3)
+		for i := range stream {
+			stream[i] = math.Sin(2*math.Pi*float64(i)/17) + 0.3*rng.NormFloat64()
+		}
+		power := make([]float64, sd.Bins())
+		window := make([]float64, n)
+		for i, v := range stream {
+			sd.Push(v)
+			if !sd.Warm() || i%7 != 0 {
+				continue
+			}
+			if err := sd.PSDInto(power); err != nil {
+				t.Fatal(err)
+			}
+			if err := sd.Window(window); err != nil {
+				t.Fatal(err)
+			}
+			want, err := Periodogram(window, 1, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := range power {
+				if diff := math.Abs(power[k] - want.Power[k]); diff > 1e-9*(1+want.Power[k]) {
+					t.Fatalf("n=%d push=%d bin %d: sliding %g batch %g", n, i, k, power[k], want.Power[k])
+				}
+			}
+		}
+	}
+}
+
+// TestSlidingDFTWindowOrder checks the ring unrolls oldest-first.
+func TestSlidingDFTWindowOrder(t *testing.T) {
+	sd, err := NewSlidingDFT(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 6; i++ {
+		sd.Push(float64(i))
+	}
+	got := make([]float64, 4)
+	if err := sd.Window(got); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 4, 5, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("window = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSlidingDFTDriftBounded pushes far more samples than the resync
+// cadence and checks the recurrence drift stays near machine epsilon.
+func TestSlidingDFTDriftBounded(t *testing.T) {
+	const n = 128
+	sd, err := NewSlidingDFT(n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	window := make([]float64, n)
+	power := make([]float64, sd.Bins())
+	for i := 0; i < 50*n; i++ {
+		sd.Push(rng.NormFloat64())
+	}
+	if err := sd.PSDInto(power); err != nil {
+		t.Fatal(err)
+	}
+	if err := sd.Window(window); err != nil {
+		t.Fatal(err)
+	}
+	want, err := Periodogram(window, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, p := range want.Power {
+		total += p
+	}
+	for k := range power {
+		if diff := math.Abs(power[k] - want.Power[k]); diff > 1e-8*total {
+			t.Fatalf("bin %d drifted: sliding %g batch %g", k, power[k], want.Power[k])
+		}
+	}
+}
+
+// TestSlidingDFTReset checks a reset estimator behaves like a fresh one.
+func TestSlidingDFTReset(t *testing.T) {
+	sd, err := NewSlidingDFT(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		sd.Push(float64(i))
+	}
+	sd.Reset()
+	if sd.Warm() || sd.Pushes() != 0 {
+		t.Fatalf("reset left warm=%v pushes=%d", sd.Warm(), sd.Pushes())
+	}
+	vals := []float64{1, -2, 3, -4, 5, -6, 7, -8}
+	for _, v := range vals {
+		sd.Push(v)
+	}
+	power := make([]float64, sd.Bins())
+	if err := sd.PSDInto(power); err != nil {
+		t.Fatal(err)
+	}
+	want, err := Periodogram(vals, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range power {
+		if math.Abs(power[k]-want.Power[k]) > 1e-9 {
+			t.Fatalf("bin %d after reset: %g want %g", k, power[k], want.Power[k])
+		}
+	}
+}
+
+// TestSlidingDFTRejectsTinyWindows checks validation.
+func TestSlidingDFTRejectsTinyWindows(t *testing.T) {
+	if _, err := NewSlidingDFT(1, 0); err == nil {
+		t.Fatal("want error for 1-sample window")
+	}
+}
+
+// BenchmarkSlidingDFTPush measures the O(N) incremental update against the
+// O(N log N) full recompute it replaces.
+func BenchmarkSlidingDFTPush(b *testing.B) {
+	const n = 1440 // one day of 1-minute polls
+	sd, err := NewSlidingDFT(n, 1<<30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		sd.Push(float64(i % 37))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sd.Push(float64(i % 53))
+	}
+}

@@ -21,6 +21,11 @@ type StaticPoller struct {
 	Interval time.Duration
 	// Model prices the samples.
 	Model CostModel
+	// Stream, when non-nil, receives every polled sample — a streaming
+	// estimator riding the production poll loop, so the operator learns
+	// what rate the metric actually needs while today's rate keeps
+	// collecting. Its Interval should match the poller's.
+	Stream *core.StreamEstimator
 }
 
 // Run polls over [offset, offset+duration) seconds of signal time, writing
@@ -41,6 +46,9 @@ func (p *StaticPoller) Run(store *Store, start time.Time, offset float64, durati
 	}
 	for i := 0; i < n; i++ {
 		v := p.Target.At(offset + float64(i)*ivs)
+		if p.Stream != nil {
+			p.Stream.Push(v)
+		}
 		if store != nil {
 			if err := store.Append(p.ID, series.Point{Time: start.Add(time.Duration(i) * p.Interval), Value: v}); err != nil {
 				return cost, fmt.Errorf("monitor: %s: %w", p.ID, err)

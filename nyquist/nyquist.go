@@ -107,6 +107,22 @@ const (
 	Converged = core.Converged
 )
 
+// Re-exported streaming-estimation types (the incremental counterpart of
+// Estimator: bounded memory, O(window) work per poll).
+type (
+	// StreamEstimator maintains a sliding-window spectral estimate over
+	// a live stream of polls.
+	StreamEstimator = core.StreamEstimator
+	// StreamConfig parameterizes streaming estimation.
+	StreamConfig = core.StreamConfig
+	// StreamUpdate is one emission: the windowed estimate plus aliasing
+	// risk and the sweet-spot poll interval.
+	StreamUpdate = core.StreamUpdate
+)
+
+// NewStreamEstimator validates cfg and returns a StreamEstimator.
+var NewStreamEstimator = core.NewStreamEstimator
+
 // Re-exported multivariate types (§6 "Multivariate signals").
 type (
 	// GroupResult is the joint Nyquist analysis of a signal set.
