@@ -97,6 +97,61 @@ func main() {
 	} else {
 		fmt.Println("\nThe production rate is near (or below) the requirement; adaptation cannot cut it.")
 	}
+
+	reportStorage(dev, *interval, dur)
+}
+
+// reportStorage runs the production polls once more through the sharded
+// multi-resolution store with a riding stream estimator retuning the
+// retention tiers (the estimate→retain loop), then prints the operator's
+// retention and query view of the storage leg.
+func reportStorage(dev *fleet.Device, interval time.Duration, dur time.Duration) {
+	n := int(dur.Seconds() / interval.Seconds())
+	if n < 256 {
+		return // too short a run for a meaningful retention story
+	}
+	store := fleet.NewTieredStore(fleet.StoreConfig{
+		Retention: fleet.RetentionConfig{RawCapacity: n / 8, TierCapacity: n / 16},
+	})
+	stream, err := nyquist.NewStreamEstimator(nyquist.StreamConfig{
+		Interval:      interval,
+		WindowSamples: 256,
+		EmitEvery:     64,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Date(2021, 11, 10, 0, 0, 0, 0, time.UTC)
+	poller := &fleet.StaticPoller{ID: dev.ID, Target: dev, Interval: interval, Model: fleet.DefaultCostModel(), Stream: stream}
+	if _, err := poller.Run(store, start, 0, dur); err != nil {
+		fatal(err)
+	}
+
+	st := store.Stats()
+	fmt.Printf("\nstorage leg (tsdb, %d-point raw ring):\n", n/8)
+	fmt.Printf("  %d writes -> %d retained (%d compacted into tiers, %d dropped)\n",
+		st.Appends, st.Retained(), st.Compacted, st.Dropped)
+	for _, s := range store.Snapshot() {
+		if s.NyquistRate > 0 {
+			fmt.Printf("  retention tuned to %.4g Hz by the riding estimator\n", s.NyquistRate)
+		}
+		for i, t := range s.Tiers {
+			if t.Buckets == 0 {
+				continue
+			}
+			fmt.Printf("  tier %d: %4d buckets @ %v (%d samples summarized)\n",
+				i+1, t.Buckets, t.Width, t.Samples)
+		}
+	}
+	res, err := store.QueryRange(dev.ID, start, start.Add(dur), 24)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  query full run (budget 24): %d points, thinned=%v, tiers:", len(res.Points), res.Thinned)
+	for _, ts := range res.Tiers {
+		fmt.Printf(" [%d: %d pts]", ts.Tier, ts.Points)
+	}
+	fmt.Println()
 }
 
 func findMetric(name string) (fleet.Metric, bool) {

@@ -84,4 +84,53 @@ func main() {
 	fmt.Printf("reconstruction: NRMSE %.4f, max error %.2f %s\n",
 		fid.NRMSE, fid.MaxAbs, dev.Profile().Unit)
 	fmt.Println("\nThe TSDB holds a fraction of the bytes; queries see the same signal.")
+
+	// The storage leg itself is now a sharded multi-resolution tsdb.
+	// Re-run the same session against a store bounded to a sliver of the
+	// archived footprint: where the seed store returned ErrStoreFull and
+	// stalled, the engine cascades old samples into Nyquist-derived
+	// min/max/mean tiers — resolution degrades, the session never stops.
+	small := fleet.NewTieredStore(fleet.StoreConfig{
+		Retention: fleet.RetentionConfig{RawCapacity: 64, TierCapacity: 32},
+	})
+	arch2, err := fleet.NewArchiver(dev.ID, small, 30*time.Second, fleet.ArchiverConfig{
+		WindowSamples: 2880,
+		QuantStep:     dev.Profile().QuantStep,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < total; i++ {
+		ts := start.Add(time.Duration(i) * 30 * time.Second)
+		if err := arch2.Ingest(nyquist.Point{Time: ts, Value: dev.At(float64(i) * 30)}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := arch2.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	st := small.Stats()
+	fmt.Printf("\nbounded store (64-point raw ring): %d writes -> %d retained, %d compacted, %d dropped\n",
+		st.Appends, st.Retained(), st.Compacted, st.Dropped)
+	for _, s := range small.Snapshot() {
+		fmt.Printf("  %s: retention tuned to %.4g Hz (archiver estimate), raw %d pts\n",
+			s.ID, s.NyquistRate, s.RawPoints)
+		for i, t := range s.Tiers {
+			fmt.Printf("    tier %d: %3d buckets @ %v (%d samples summarized)\n",
+				i+1, t.Buckets, t.Width, t.Samples)
+		}
+	}
+
+	// The operator's range query: day 1 under a 12-point budget. The
+	// engine stitches the cheapest tiers covering the window and thins to
+	// the budget.
+	res, err := small.QueryRange(dev.ID, start, start.Add(24*time.Hour), 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nquery day 1 (budget 12): %d points, thinned=%v, tiers:", len(res.Points), res.Thinned)
+	for _, ts := range res.Tiers {
+		fmt.Printf(" [tier %d: %d pts]", ts.Tier, ts.Points)
+	}
+	fmt.Println()
 }

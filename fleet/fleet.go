@@ -14,6 +14,7 @@ import (
 	"repro/internal/dcsim"
 	"repro/internal/experiments"
 	"repro/internal/monitor"
+	"repro/internal/tsdb"
 )
 
 // Re-exported simulation types.
@@ -79,9 +80,35 @@ var AllMetrics = dcsim.AllMetrics
 // ProfileFor returns a metric family's profile.
 var ProfileFor = dcsim.ProfileFor
 
+// Re-exported storage-engine types (the sharded multi-resolution tsdb
+// behind Store; see internal/tsdb).
+type (
+	// StoreConfig parameterizes a tiered store: shard count plus the
+	// multi-resolution retention policy.
+	StoreConfig = tsdb.Config
+	// RetentionConfig is the per-series Nyquist-aware retention policy.
+	RetentionConfig = tsdb.RetentionConfig
+	// StoreStats is the engine-wide operator report.
+	StoreStats = tsdb.Stats
+	// SeriesStats is one series' retention state.
+	SeriesStats = tsdb.SeriesStats
+	// TierStats is one downsampled tier's state.
+	TierStats = tsdb.TierStats
+	// QueryResult is a tier-stitched range-query answer.
+	QueryResult = tsdb.QueryResult
+	// TierSlice records one tier's contribution to a query.
+	TierSlice = tsdb.TierSlice
+	// AggPoint is a min/max/mean bucket summary surfaced by a query.
+	AggPoint = tsdb.AggPoint
+)
+
+// NewTieredStore returns a store with explicit sharding and retention.
+var NewTieredStore = monitor.NewTieredStore
+
 // Re-exported monitoring-pipeline types.
 type (
-	// Store is a concurrency-safe in-memory time-series database.
+	// Store is a concurrency-safe in-memory time-series database backed
+	// by the sharded multi-resolution tsdb engine.
 	Store = monitor.Store
 	// StaticPoller samples at a fixed interval (today's practice).
 	StaticPoller = monitor.StaticPoller
@@ -161,6 +188,9 @@ var (
 	// ErrNoSeries marks queries for unknown series.
 	ErrNoSeries = monitor.ErrNoSeries
 	// ErrStoreFull marks writes beyond a bounded store's capacity.
+	//
+	// Deprecated: the tsdb-backed store degrades resolution instead of
+	// failing; no code path returns it any more.
 	ErrStoreFull = monitor.ErrStoreFull
 )
 

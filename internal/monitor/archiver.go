@@ -164,6 +164,10 @@ func (a *Archiver) Flush() error {
 			return fmt.Errorf("monitor: archiver block: %w", err)
 		}
 		a.kept += len(down.Values)
+		// Close the estimate→retain loop: the block's Nyquist estimate
+		// retunes the store's retention tiers, so a bounded store degrades
+		// this series on the signal's own terms rather than a default grid.
+		a.store.SetNyquist(a.id, res.NyquistRate)
 	}
 	wasPartial := len(a.buf) != a.cfg.WindowSamples
 	a.buf = a.buf[:0]

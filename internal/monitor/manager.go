@@ -27,6 +27,14 @@ type ManagerConfig struct {
 	Concurrency int
 	// Model prices samples.
 	Model CostModel
+	// Store, when non-nil, persists every target's primary-rate samples
+	// through the sharded tsdb engine and feeds each converged rate into
+	// its series' retention policy. Workers write concurrently; the
+	// engine's per-shard locks carry the fan-in.
+	Store *Store
+	// Start anchors stored sample timestamps; the zero value selects the
+	// pipeline's standard epoch.
+	Start time.Time
 }
 
 // ManagedTarget is one fleet member under adaptive control.
@@ -123,17 +131,24 @@ func (m *Manager) runOne(t ManagedTarget, offset float64, duration time.Duration
 	if t.InitialRate > 0 {
 		cfg.InitialRate = t.InitialRate
 	}
-	sampler, err := core.NewAdaptiveSampler(cfg)
+	// The adaptive poller runs the loop either way; with a configured
+	// store it also persists the primary-rate samples and closes the
+	// estimate→retain loop (it tolerates a nil store).
+	p := &AdaptivePoller{ID: t.ID, Target: t.Target, Config: cfg, Model: m.cfg.Model}
+	res, err := p.Run(m.cfg.Store, m.startTime(), offset, duration)
 	if err != nil {
 		rep.Err = err
 		return rep
 	}
-	run, err := sampler.Run(t.Target, offset, duration.Seconds())
-	if err != nil {
-		rep.Err = err
-		return rep
-	}
-	rep.Run = run
-	rep.Cost.Add(m.cfg.Model, run.TotalSamples)
+	rep.Run = res.Run
+	rep.Cost = res.Cost
 	return rep
+}
+
+// startTime resolves the timestamp anchor for stored samples.
+func (m *Manager) startTime() time.Time {
+	if !m.cfg.Start.IsZero() {
+		return m.cfg.Start
+	}
+	return time.Date(2021, 11, 10, 0, 0, 0, 0, time.UTC)
 }

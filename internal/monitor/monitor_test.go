@@ -67,15 +67,42 @@ func TestStoreAppendQuery(t *testing.T) {
 	}
 }
 
-func TestStoreCapacity(t *testing.T) {
+// TestBoundedStoreNoLongerFails is the regression test for the seed
+// store's failure mode: a bounded store used to return a hard
+// ErrStoreFull once the capacity was hit, silently stalling long-running
+// archiver sessions. The tsdb-backed store must instead keep accepting
+// writes forever and degrade resolution (compact into min/max/mean tiers).
+func TestBoundedStoreNoLongerFails(t *testing.T) {
 	s := NewStore(3)
-	for i := 0; i < 3; i++ {
-		if err := s.Append("a", series.Point{Time: start, Value: 1}); err != nil {
-			t.Fatal(err)
+	for i := 0; i < 500; i++ {
+		if err := s.Append("a", series.Point{Time: start.Add(time.Duration(i) * time.Second), Value: float64(i)}); err != nil {
+			t.Fatalf("append %d: %v (the bounded store must never fail a write)", i, err)
 		}
 	}
-	if err := s.Append("a", series.Point{Time: start, Value: 1}); !errors.Is(err, ErrStoreFull) {
-		t.Fatalf("err = %v, want ErrStoreFull", err)
+	st := s.Stats()
+	if st.Appends != 500 {
+		t.Fatalf("appends = %d, want 500", st.Appends)
+	}
+	if st.Compacted == 0 {
+		t.Fatal("capacity pressure never compacted anything")
+	}
+	// Degraded, not dead: history is still queryable at reduced
+	// resolution alongside the exact raw tail.
+	full, err := s.QueryRange("a", start, start.Add(500*time.Second), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggregated := false
+	for _, a := range full.Aggregates {
+		if a.Count > 1 {
+			aggregated = true
+		}
+	}
+	if !aggregated {
+		t.Fatal("no downsampled buckets; store did not degrade per tier")
+	}
+	if full.Points[len(full.Points)-1].Value != 499 {
+		t.Fatalf("newest raw value = %v, want 499", full.Points[len(full.Points)-1].Value)
 	}
 }
 
@@ -138,32 +165,42 @@ func TestStaticPollerRun(t *testing.T) {
 	}
 }
 
-func TestStaticPollerStoreFullPropagates(t *testing.T) {
-	// Failure injection: a bounded store fills mid-run; the poller must
-	// surface ErrStoreFull instead of silently dropping samples.
+func TestStaticPollerBoundedStoreDegrades(t *testing.T) {
+	// Regression for the seed failure mode: a bounded store filling
+	// mid-run used to abort the poller with ErrStoreFull. Now the run
+	// completes and old samples survive as coarser-tier summaries.
 	s := NewStore(10)
 	p := &StaticPoller{ID: "dev", Target: slowTone(0.001), Interval: time.Second, Model: DefaultCostModel()}
-	_, err := p.Run(s, start, 0, time.Minute)
-	if !errors.Is(err, ErrStoreFull) {
-		t.Fatalf("err = %v, want ErrStoreFull", err)
+	cost, err := p.Run(s, start, 0, time.Minute)
+	if err != nil {
+		t.Fatalf("bounded store aborted the run: %v", err)
 	}
-	if s.Points() != 10 {
-		t.Fatalf("stored %d points, want exactly the capacity", s.Points())
+	if cost.Samples != 60 {
+		t.Fatalf("samples = %d, want the full 60", cost.Samples)
+	}
+	st := s.Stats()
+	if st.Appends != 60 || st.Compacted != 50 {
+		t.Fatalf("appends = %d, compacted = %d; want 60/50", st.Appends, st.Compacted)
 	}
 }
 
-func TestArchiverStoreFullPropagates(t *testing.T) {
+func TestArchiverBoundedStoreKeepsRunning(t *testing.T) {
+	// The seed archiver stalled for good once its bounded store filled.
+	// A long session over a tiny store must now run to completion with
+	// every block accepted.
 	s := NewStore(3)
 	a, err := NewArchiver("x", s, time.Second, ArchiverConfig{WindowSamples: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
-	var ingestErr error
-	for i := 0; i < 64 && ingestErr == nil; i++ {
-		ingestErr = a.Ingest(series.Point{Time: start.Add(time.Duration(i) * time.Second), Value: float64(i % 7)})
+	for i := 0; i < 1024; i++ {
+		if err := a.Ingest(series.Point{Time: start.Add(time.Duration(i) * time.Second), Value: float64(i % 7)}); err != nil {
+			t.Fatalf("ingest %d: %v", i, err)
+		}
 	}
-	if !errors.Is(ingestErr, ErrStoreFull) {
-		t.Fatalf("err = %v, want ErrStoreFull", ingestErr)
+	raw, stored, _ := a.Savings()
+	if raw != 1024 || stored == 0 {
+		t.Fatalf("raw=%d stored=%d; the session must have kept archiving", raw, stored)
 	}
 }
 
@@ -232,6 +269,71 @@ func TestCompareAdaptiveBeatsStaticOnSlowSignal(t *testing.T) {
 	}
 	if cmp.Fidelity.NRMSE > 0.05 {
 		t.Fatalf("NRMSE = %v, want < 0.05", cmp.Fidelity.NRMSE)
+	}
+}
+
+// TestArchiverClosesEstimateRetainLoop checks a clean block estimate
+// lands in the store's retention policy: after archiving, the series
+// carries the Nyquist rate the stream estimator found.
+func TestArchiverClosesEstimateRetainLoop(t *testing.T) {
+	s := NewStore(256)
+	a, err := NewArchiver("temp", s, time.Second, ArchiverConfig{WindowSamples: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1024; i++ {
+		v := 40 + 5*math.Sin(2*math.Pi*16*float64(i)/1024)
+		if err := a.Ingest(series.Point{Time: start.Add(time.Duration(i) * time.Second), Value: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.NyquistRate("temp")
+	if got <= 0 {
+		t.Fatal("store never learned the series' Nyquist rate")
+	}
+	// 16 cycles per 1024 s → f_max = 16/1024 Hz → Nyquist rate 32/1024.
+	want := 2 * 16.0 / 1024
+	if got < want/2 || got > 4*want {
+		t.Fatalf("retained rate %g Hz, want within a small factor of %g", got, want)
+	}
+}
+
+// TestManagerPersistsThroughStore checks the fleet path writes through
+// the sharded engine: concurrent workers store their primary-rate
+// samples and feed converged rates into per-series retention.
+func TestManagerPersistsThroughStore(t *testing.T) {
+	s := NewStore(0)
+	cfg := managerConfig()
+	cfg.Store = s
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := fleetTargets(4)
+	rep, err := m.Run(targets, 0, 256*8*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("failed = %d", rep.Failed)
+	}
+	ids := s.IDs()
+	if len(ids) != 4 {
+		t.Fatalf("stored series = %v, want all 4 targets", ids)
+	}
+	for _, tr := range rep.Targets {
+		stored, err := s.Full(tr.ID)
+		if err != nil {
+			t.Fatalf("%s: %v", tr.ID, err)
+		}
+		if stored.Len() == 0 {
+			t.Fatalf("%s: nothing persisted", tr.ID)
+		}
+		// The converged rate is Headroom (default 2) × the requirement;
+		// the store receives the raw Nyquist rate.
+		if rate := s.NyquistRate(tr.ID); rate != tr.Run.FinalRate/2 {
+			t.Fatalf("%s: retention rate %g, want converged/headroom %g", tr.ID, rate, tr.Run.FinalRate/2)
+		}
 	}
 }
 

@@ -44,10 +44,22 @@ func (p *StaticPoller) Run(store *Store, start time.Time, offset float64, durati
 	if n < 1 {
 		n = 1
 	}
+	lastRate := 0.0
 	for i := 0; i < n; i++ {
 		v := p.Target.At(offset + float64(i)*ivs)
 		if p.Stream != nil {
-			p.Stream.Push(v)
+			up := p.Stream.Push(v)
+			// A clean streaming estimate retunes the store's retention
+			// tiers for this series (the estimate→retain loop), so even a
+			// never-reconsidered static rate gets Nyquist-aware storage.
+			// Only a changed estimate takes the store's write lock: with
+			// the default per-poll emission cadence a converged stream
+			// would otherwise retune on every sample.
+			if up != nil && store != nil && up.Err == nil && up.Result.NyquistRate > 0 &&
+				up.Result.NyquistRate != lastRate {
+				lastRate = up.Result.NyquistRate
+				store.SetNyquist(p.ID, lastRate)
+			}
 		}
 		if store != nil {
 			if err := store.Append(p.ID, series.Point{Time: start.Add(time.Duration(i) * p.Interval), Value: v}); err != nil {
@@ -101,6 +113,17 @@ func (p *AdaptivePoller) Run(store *Store, start time.Time, offset float64, dura
 	res := &AdaptiveResult{Run: run}
 	res.Cost.Add(p.Model, run.TotalSamples)
 	if store != nil {
+		// The converged poll rate is Headroom × the estimated Nyquist
+		// rate; divide the loop's headroom back out so the store receives
+		// the raw 2·f_max the other retain-loop feeds supply (tsdb
+		// applies its own headroom when sizing tiers).
+		if run.FinalRate > 0 {
+			h := p.Config.Headroom
+			if h <= 0 {
+				h = 2 // core.AdaptiveConfig's default
+			}
+			store.SetNyquist(p.ID, run.FinalRate/h)
+		}
 		for _, e := range run.Epochs {
 			// Re-materialize the primary-rate samples of this epoch for
 			// storage. (The adaptive sampler already billed them.)

@@ -2,101 +2,124 @@ package monitor
 
 import (
 	"errors"
-	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/series"
+	"repro/internal/tsdb"
 )
 
-// Store is a concurrency-safe in-memory time-series database keyed by
-// metric/device id — the "storage" leg of the monitoring pipeline. It is
-// deliberately simple: what the experiments need is an accurate account of
-// what was retained, not a production TSDB.
+// Store is the monitoring pipeline's storage leg: a thin adapter over the
+// sharded multi-resolution time-series engine (internal/tsdb). Writers
+// spread across the engine's shards instead of serializing on one global
+// mutex, and a bounded store degrades resolution under pressure —
+// compacting old samples into Nyquist-derived min/max/mean tiers —
+// instead of returning the hard ErrStoreFull the seed store stalled
+// long-running archiver sessions with.
 type Store struct {
-	mu       sync.RWMutex
-	data     map[string]*series.Series
-	points   int
-	capacity int
+	db *tsdb.DB
 }
 
 // ErrNoSeries is returned when querying an id that was never written.
-var ErrNoSeries = errors.New("monitor: no such series")
+var ErrNoSeries = tsdb.ErrNoSeries
 
-// ErrStoreFull is returned when a bounded store cannot accept more points.
+// ErrStoreFull is the seed store's hard capacity failure.
+//
+// Deprecated: retained so existing callers keep compiling. The
+// tsdb-backed store compacts into coarser retention tiers when full; no
+// code path returns ErrStoreFull any more (see
+// TestBoundedStoreNoLongerFails for the regression contract).
 var ErrStoreFull = errors.New("monitor: store capacity exceeded")
 
-// NewStore returns an empty store. capacity bounds the total number of
-// points (0 = unbounded), modeling the retention budget operators actually
-// face.
+// NewStore returns an empty store. capacity bounds each series' raw
+// (full-resolution) ring in points (0 = unbounded); when a ring fills,
+// old samples cascade into downsampled retention tiers rather than
+// failing the write — the retention budget operators face, without the
+// seed store's hard stop.
 func NewStore(capacity int) *Store {
-	return &Store{data: make(map[string]*series.Series), capacity: capacity}
+	return &Store{db: tsdb.New(tsdb.Config{Retention: tsdb.RetentionConfig{RawCapacity: capacity}})}
 }
 
-// Append adds one point to the series with the given id.
+// NewTieredStore returns a store with full control over sharding and the
+// multi-resolution retention policy.
+func NewTieredStore(cfg tsdb.Config) *Store {
+	return &Store{db: tsdb.New(cfg)}
+}
+
+// DB exposes the underlying engine for query/retention reporting.
+func (s *Store) DB() *tsdb.DB { return s.db }
+
+// Append adds one point to the series with the given id. The error is
+// always nil and kept only for call-site compatibility with the seed
+// store's fallible append.
 func (s *Store) Append(id string, p series.Point) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.capacity > 0 && s.points >= s.capacity {
-		return ErrStoreFull
-	}
-	ser, ok := s.data[id]
-	if !ok {
-		ser = &series.Series{}
-		s.data[id] = ser
-	}
-	ser.Append(p)
-	s.points++
+	s.db.Append(id, p)
 	return nil
 }
 
-// AppendUniform stores every sample of a uniform trace under id.
+// AppendUniform stores every sample of a uniform trace under id, locking
+// the series' shard once for the whole block.
 func (s *Store) AppendUniform(id string, u *series.Uniform) error {
-	for i, v := range u.Values {
-		if err := s.Append(id, series.Point{Time: u.TimeAt(i), Value: v}); err != nil {
-			return err
+	s.db.AppendUniform(id, u)
+	return nil
+}
+
+// SetNyquist records the series' estimated Nyquist rate (2·f_max, hertz)
+// and retunes its retention tiers — the estimate→retain loop the
+// archiver and pollers close.
+func (s *Store) SetNyquist(id string, rate float64) {
+	s.db.SetNyquistRate(id, rate)
+}
+
+// NyquistRate returns the series' recorded Nyquist estimate (0 = none).
+func (s *Store) NyquistRate(id string) float64 {
+	return s.db.NyquistRate(id)
+}
+
+// Query returns the stored samples for id strictly within [from, to),
+// matching the seed store's window contract. Samples that were compacted
+// into retention tiers appear as their buckets' mean values at the
+// buckets' grid timestamps; a bucket whose grid time falls before `from`
+// is excluded even when it summarizes in-window samples — use QueryRange
+// for the overlap-inclusive, min/max/mean-detailed view.
+func (s *Store) Query(id string, from, to time.Time) (*series.Series, error) {
+	res, err := s.db.Query(id, from, to, 0)
+	if err != nil {
+		return nil, err
+	}
+	pts := res.Points[:0]
+	for _, p := range res.Points {
+		if !p.Time.Before(from) && p.Time.Before(to) {
+			pts = append(pts, p)
 		}
 	}
-	return nil
+	return series.New(pts), nil
 }
 
-// Query returns the stored samples for id within [from, to).
-func (s *Store) Query(id string, from, to time.Time) (*series.Series, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ser, ok := s.data[id]
-	if !ok {
-		return nil, ErrNoSeries
-	}
-	return ser.Window(from, to), nil
+// QueryRange is the tier-aware range query: at most maxPoints samples
+// (0 = no limit) stitched from the cheapest tiers covering [from, to),
+// with per-tier provenance and bucket aggregates.
+func (s *Store) QueryRange(id string, from, to time.Time, maxPoints int) (*tsdb.QueryResult, error) {
+	return s.db.Query(id, from, to, maxPoints)
 }
 
-// Full returns the complete stored series for id.
+// Full returns the complete stored series for id across all tiers.
 func (s *Store) Full(id string) (*series.Series, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ser, ok := s.data[id]
-	if !ok {
-		return nil, ErrNoSeries
+	res, err := s.db.Full(id)
+	if err != nil {
+		return nil, err
 	}
-	return series.New(ser.Points()), nil
+	return series.New(res.Points), nil
 }
 
 // IDs returns the stored series ids, sorted.
-func (s *Store) IDs() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.data))
-	for id := range s.data {
-		out = append(out, id)
-	}
-	sort.Strings(out)
-	return out
-}
+func (s *Store) IDs() []string { return s.db.IDs() }
 
-// Points returns the total number of stored points.
-func (s *Store) Points() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.points
-}
+// Points returns the total number of retained points (raw samples plus
+// retention-tier buckets).
+func (s *Store) Points() int { return s.db.Points() }
+
+// Stats aggregates the engine for operator reporting.
+func (s *Store) Stats() tsdb.Stats { return s.db.Stats() }
+
+// Snapshot reports every series' retention state, sorted by id.
+func (s *Store) Snapshot() []tsdb.SeriesStats { return s.db.Snapshot() }

@@ -177,3 +177,32 @@ func TestStaticPollerFeedsStream(t *testing.T) {
 		t.Fatalf("riding estimator found %.1fx reduction, want ~32x", res.ReductionRatio)
 	}
 }
+
+// TestStaticPollerStreamRetunesRetention checks the riding estimator's
+// emissions reach the store's retention policy while the production rate
+// keeps collecting.
+func TestStaticPollerStreamRetunesRetention(t *testing.T) {
+	st, err := core.NewStreamEstimator(core.StreamConfig{
+		Interval:      time.Second,
+		WindowSamples: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := core.SamplerFunc(func(ts float64) float64 {
+		return 20 + math.Sin(2*math.Pi*ts/64)
+	})
+	s := NewStore(128)
+	p := &StaticPoller{ID: "s", Target: target, Interval: time.Second, Stream: st}
+	if _, err := p.Run(s, start, 0, 1024*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rate := s.NyquistRate("s")
+	if rate <= 0 {
+		t.Fatal("store retention never learned from the riding stream")
+	}
+	// 1/64 Hz tone → Nyquist rate 1/32 Hz.
+	if want := 1.0 / 32; rate < want/2 || rate > 4*want {
+		t.Fatalf("retained rate %g Hz, want near %g", rate, want)
+	}
+}

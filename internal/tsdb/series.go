@@ -1,0 +1,347 @@
+package tsdb
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/series"
+)
+
+var errNoSeries = errors.New("tsdb: no such series")
+
+// maxTierWidth caps bucket widths so absurdly low Nyquist estimates
+// cannot overflow duration arithmetic.
+const maxTierWidth = 365 * 24 * time.Hour
+
+// ring is a FIFO buffer. A positive capacity makes it circular: pushing
+// into a full ring evicts and returns the oldest element. Capacity zero
+// grows without bound and never evicts.
+type ring[T any] struct {
+	buf  []T
+	head int
+	n    int
+	cap  int
+}
+
+func newRing[T any](capacity int) *ring[T] {
+	r := &ring[T]{cap: capacity}
+	if capacity > 0 {
+		r.buf = make([]T, capacity)
+	}
+	return r
+}
+
+func (r *ring[T]) size() int { return r.n }
+
+// wrap reduces an index in [0, 2·cap) onto the ring without a divide —
+// the append path runs once per poll, so the modulo matters.
+func (r *ring[T]) wrap(i int) int {
+	if i >= r.cap {
+		i -= r.cap
+	}
+	return i
+}
+
+// at returns element i, 0 being the oldest.
+func (r *ring[T]) at(i int) T {
+	if r.cap > 0 {
+		return r.buf[r.wrap(r.head+i)]
+	}
+	return r.buf[i]
+}
+
+// push appends v, returning the evicted oldest element when full.
+func (r *ring[T]) push(v T) (evicted T, wasEvicted bool) {
+	if r.cap <= 0 {
+		r.buf = append(r.buf, v)
+		r.n++
+		return evicted, false
+	}
+	if r.n < r.cap {
+		r.buf[r.wrap(r.head+r.n)] = v
+		r.n++
+		return evicted, false
+	}
+	evicted = r.buf[r.head]
+	r.buf[r.head] = v
+	r.head = r.wrap(r.head + 1)
+	return evicted, true
+}
+
+// bucket is one aggregated interval of a downsampled tier. Each bucket
+// carries its own [start, end) coverage: tiers are retuned while buckets
+// written under older widths are still retained, so coverage must not be
+// derived from the tier's live width.
+type bucket struct {
+	start, end time.Time
+	min, max   float64
+	sum        float64
+	count      int64
+}
+
+func bucketOf(p series.Point) bucket {
+	return bucket{start: p.Time, end: p.Time, min: p.Value, max: p.Value, sum: p.Value, count: 1}
+}
+
+func (b bucket) mean() float64 { return b.sum / float64(b.count) }
+
+// merge folds o into b (b.start is kept; coverage extends to o's end
+// when a cascaded bucket straddles it).
+func (b *bucket) merge(o bucket) {
+	if o.min < b.min {
+		b.min = o.min
+	}
+	if o.max > b.max {
+		b.max = o.max
+	}
+	if o.end.After(b.end) {
+		b.end = o.end
+	}
+	b.sum += o.sum
+	b.count += o.count
+}
+
+// tier is one downsampled retention level: a ring of finalized buckets
+// plus the in-progress bucket accumulating the newest interval.
+type tier struct {
+	width  time.Duration
+	ring   *ring[bucket]
+	cur    bucket
+	curSet bool
+}
+
+// overlaps reports whether the tier's retained band [oldest bucket
+// start, newest bucket end) intersects [from, to) — the pruning check
+// that keeps recent-window queries from walking cold tiers. Zero bounds
+// are unbounded.
+func (t *tier) overlaps(from, to time.Time) bool {
+	var oldest, newestEnd time.Time
+	switch {
+	case t.ring.size() > 0:
+		oldest = t.ring.at(0).start
+		newestEnd = t.ring.at(t.ring.size() - 1).end
+		if t.curSet && t.cur.end.After(newestEnd) {
+			newestEnd = t.cur.end
+		}
+	case t.curSet:
+		oldest = t.cur.start
+		newestEnd = t.cur.end
+	default:
+		return false
+	}
+	return (to.IsZero() || oldest.Before(to)) && (from.IsZero() || newestEnd.After(from))
+}
+
+// memSeries is one series' in-memory state. It carries no lock of its
+// own: the owning shard's mutex guards all access.
+type memSeries struct {
+	raw   *ring[series.Point]
+	tiers []*tier
+
+	// nyquist is the recorded Nyquist-rate estimate in hertz (0 =
+	// unknown); it drives the tier bucket widths.
+	nyquist float64
+	// gap is an EWMA of positive inter-sample gaps — the fallback basis
+	// for tier widths while no Nyquist estimate exists.
+	gap      time.Duration
+	lastTime time.Time
+	haveLast bool
+
+	appends   int64
+	compacted int64
+	dropped   int64
+}
+
+func newMemSeries(rc *RetentionConfig) *memSeries {
+	return &memSeries{raw: newRing[series.Point](rc.RawCapacity)}
+}
+
+// append ingests one point, cascading the evicted oldest raw point into
+// the tiers when the ring is full. Points are expected in time order (the
+// poller's contract); out-of-order points are accepted but may land in an
+// already-open bucket.
+func (m *memSeries) append(p series.Point, rc *RetentionConfig) {
+	// The gap EWMA only seeds the initial tier grid; once the tiers
+	// exist, retention follows the Nyquist estimates and the hot path
+	// skips the clock arithmetic.
+	if m.tiers == nil {
+		if m.haveLast {
+			if gap := p.Time.Sub(m.lastTime); gap > 0 {
+				if m.gap == 0 {
+					m.gap = gap
+				} else {
+					m.gap += (gap - m.gap) / 8
+				}
+			}
+		}
+		m.lastTime = p.Time
+		m.haveLast = true
+	}
+	m.appends++
+	if ev, wasEvicted := m.raw.push(p); wasEvicted {
+		m.compact(ev, rc)
+	}
+}
+
+// compact cascades one evicted raw point into the first tier (or counts
+// it dropped when tiers are disabled).
+func (m *memSeries) compact(p series.Point, rc *RetentionConfig) {
+	m.ensureTiers(rc)
+	if len(m.tiers) == 0 {
+		m.dropped++
+		return
+	}
+	m.compacted++
+	m.ingest(0, bucketOf(p))
+}
+
+// ingest folds b into tier k's current bucket, finalizing (and possibly
+// cascading to tier k+1) when b opens a later interval on the tier grid.
+func (m *memSeries) ingest(k int, b bucket) {
+	t := m.tiers[k]
+	if !t.curSet {
+		b.start = b.start.Truncate(t.width)
+		b.end = b.start.Add(t.width)
+		t.cur = b
+		t.curSet = true
+		return
+	}
+	// Common case: the point lands in the open bucket (or before it,
+	// for out-of-order arrivals) — one comparison, no grid division.
+	if b.start.Before(t.cur.end) {
+		t.cur.merge(b)
+		return
+	}
+	gridStart := b.start.Truncate(t.width)
+	if !gridStart.After(t.cur.start) {
+		t.cur.merge(b)
+		return
+	}
+	if ev, wasEvicted := t.ring.push(t.cur); wasEvicted {
+		if k+1 < len(m.tiers) {
+			m.ingest(k+1, ev)
+		} else {
+			m.dropped += ev.count
+		}
+	}
+	b.start = gridStart
+	b.end = gridStart.Add(t.width)
+	t.cur = b
+}
+
+// ensureTiers lazily creates the downsampled tiers on first compaction,
+// with widths derived from the current Nyquist estimate (or the observed
+// native interval while none exists).
+func (m *memSeries) ensureTiers(rc *RetentionConfig) {
+	if m.tiers != nil || rc.Tiers <= 0 {
+		return
+	}
+	m.tiers = make([]*tier, rc.Tiers)
+	widths := m.tierWidths(rc)
+	for i := range m.tiers {
+		m.tiers[i] = &tier{width: widths[i], ring: newRing[bucket](rc.TierCapacity)}
+	}
+}
+
+// retune updates existing tier widths after a Nyquist estimate change;
+// future buckets use the new grid, retained buckets are left as written.
+func (m *memSeries) retune(rc *RetentionConfig) {
+	if m.tiers == nil {
+		return
+	}
+	// Open and retained buckets keep the coverage they were written
+	// with; only buckets opened from here on use the new grid.
+	widths := m.tierWidths(rc)
+	for i, t := range m.tiers {
+		t.width = widths[i]
+	}
+}
+
+// tierWidths derives the bucket width of every tier. The first tier is
+// lossless with respect to the estimated Nyquist rate: its bucket rate is
+// Headroom × rate, i.e. at least 2·f_max. Each deeper tier widens by the
+// integer fan-out, keeping the grids nested. While no estimate exists the
+// native inter-sample interval stands in, making the first tier lossless
+// with respect to whatever is actually being polled.
+func (m *memSeries) tierWidths(rc *RetentionConfig) []time.Duration {
+	var base time.Duration
+	if m.nyquist > 0 {
+		base = time.Duration(float64(time.Second) / (rc.Headroom * m.nyquist))
+	}
+	if base <= 0 {
+		base = m.gap
+	}
+	if base <= 0 {
+		base = time.Second
+	}
+	if base > maxTierWidth {
+		base = maxTierWidth
+	}
+	widths := make([]time.Duration, rc.Tiers)
+	w := base
+	for i := range widths {
+		widths[i] = w
+		if w < maxTierWidth/time.Duration(rc.Fanout) {
+			w *= time.Duration(rc.Fanout)
+		} else {
+			w = maxTierWidth
+		}
+	}
+	return widths
+}
+
+// retained counts currently held points: raw samples plus finalized and
+// in-progress buckets.
+func (m *memSeries) retained() int { return m.raw.size() + m.buckets() }
+
+func (m *memSeries) buckets() int {
+	n := 0
+	for _, t := range m.tiers {
+		n += t.ring.size()
+		if t.curSet {
+			n++
+		}
+	}
+	return n
+}
+
+// stats builds the operator view of this series.
+func (m *memSeries) stats(id string) SeriesStats {
+	st := SeriesStats{
+		ID:          id,
+		NyquistRate: m.nyquist,
+		Appends:     m.appends,
+		Compacted:   m.compacted,
+		Dropped:     m.dropped,
+		RawPoints:   m.raw.size(),
+	}
+	if n := m.raw.size(); n > 0 {
+		st.RawOldest = m.raw.at(0).Time
+		st.RawNewest = m.raw.at(n - 1).Time
+	}
+	for _, t := range m.tiers {
+		ts := TierStats{Width: t.width, Buckets: t.ring.size()}
+		for i := 0; i < t.ring.size(); i++ {
+			b := t.ring.at(i)
+			ts.Samples += b.count
+			if ts.Oldest.IsZero() || b.start.Before(ts.Oldest) {
+				ts.Oldest = b.start
+			}
+			if b.end.After(ts.Newest) {
+				ts.Newest = b.end
+			}
+		}
+		if t.curSet {
+			ts.Buckets++
+			ts.Samples += t.cur.count
+			if ts.Oldest.IsZero() || t.cur.start.Before(ts.Oldest) {
+				ts.Oldest = t.cur.start
+			}
+			if t.cur.end.After(ts.Newest) {
+				ts.Newest = t.cur.end
+			}
+		}
+		st.Tiers = append(st.Tiers, ts)
+	}
+	return st
+}

@@ -1,0 +1,366 @@
+// Package tsdb is the storage leg of the monitoring pipeline: a sharded,
+// concurrency-safe, in-memory time-series engine with Nyquist-aware
+// multi-resolution retention.
+//
+// The paper's cost/quality sweet spot applies to storage as much as to
+// polling: once a metric's Nyquist rate is known, retaining samples above
+// it is pure waste, and retaining below it aliases. The engine encodes
+// that directly:
+//
+//   - Series are spread over N independent shards keyed by an FNV-1a hash
+//     of the series id, each with its own lock, so writers scale with
+//     cores instead of serializing on one global mutex.
+//
+//   - Each series holds a raw ring buffer at the polled rate plus
+//     downsampled retention tiers. The first tier's bucket width derives
+//     from the series' estimated Nyquist rate (lossless at ≥ 2·f_max with
+//     headroom); deeper tiers widen by a fixed fan-out and keep
+//     min/max/mean summaries — progressively cheaper, progressively
+//     coarser.
+//
+//   - A full raw ring never fails a write. The oldest point cascades into
+//     the first tier's current bucket; a full tier cascades its oldest
+//     bucket into the next; only the last tier forgets (and counts what it
+//     forgot). Resource pressure degrades resolution, it does not stall
+//     the pipeline.
+//
+// Range queries stitch the tiers intersecting the requested window —
+// recent queries touch only the raw ring, deep-history queries read the
+// coarse tiers — and thin the result to a point budget when asked.
+// Snapshot and stats surfaces exist for operator reporting.
+package tsdb
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/series"
+)
+
+// ErrNoSeries is returned when querying an id that was never written.
+var ErrNoSeries = errNoSeries
+
+// Config parameterizes a DB.
+type Config struct {
+	// Shards is the number of independently locked shards; zero selects
+	// 16. Negative values are treated as zero.
+	Shards int
+	// Retention is the per-series retention policy.
+	Retention RetentionConfig
+}
+
+// RetentionConfig is the per-series multi-resolution retention policy.
+type RetentionConfig struct {
+	// RawCapacity bounds the raw (full-resolution) ring buffer of each
+	// series in points; zero means unbounded, which disables compaction
+	// entirely (the regeneration-figures configuration).
+	RawCapacity int
+	// TierCapacity bounds each downsampled tier in buckets; zero selects
+	// RawCapacity.
+	TierCapacity int
+	// Tiers is the number of downsampled tiers below the raw ring; zero
+	// selects 2, negative selects none (a plain bounded ring that simply
+	// forgets evicted points, the seed-style retention). Tiers only
+	// matter when RawCapacity bounds the ring.
+	Tiers int
+	// Fanout is the integer bucket-width multiplier between consecutive
+	// tiers; zero selects 4. Integer fan-outs keep the tier grids nested.
+	Fanout int
+	// Headroom multiplies the estimated Nyquist rate when sizing the
+	// first (lossless) tier's bucket rate. Values ≤ 1 select 1.2,
+	// matching the rest of the pipeline: bucketing exactly at the
+	// critical rate leaves the top component ambiguous.
+	Headroom float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.Retention.RawCapacity < 0 {
+		c.Retention.RawCapacity = 0
+	}
+	if c.Retention.TierCapacity <= 0 {
+		c.Retention.TierCapacity = c.Retention.RawCapacity
+	}
+	if c.Retention.Tiers == 0 {
+		c.Retention.Tiers = 2
+	}
+	if c.Retention.Tiers < 0 {
+		c.Retention.Tiers = 0
+	}
+	if c.Retention.Fanout <= 1 {
+		c.Retention.Fanout = 4
+	}
+	if c.Retention.Headroom <= 1 {
+		c.Retention.Headroom = 1.2
+	}
+	return c
+}
+
+// DB is a sharded in-memory time-series database. All methods are safe
+// for concurrent use; writers to different shards proceed in parallel.
+type DB struct {
+	cfg    Config
+	shards []shard
+}
+
+type shard struct {
+	mu     sync.RWMutex
+	series map[string]*memSeries
+}
+
+// New returns an empty DB. Zero-value config fields select defaults (16
+// shards, unbounded raw retention).
+func New(cfg Config) *DB {
+	c := cfg.withDefaults()
+	db := &DB{cfg: c, shards: make([]shard, c.Shards)}
+	for i := range db.shards {
+		db.shards[i].series = make(map[string]*memSeries)
+	}
+	return db
+}
+
+// Shards returns the configured shard count.
+func (db *DB) Shards() int { return len(db.shards) }
+
+// Retention returns the configured retention policy.
+func (db *DB) Retention() RetentionConfig { return db.cfg.Retention }
+
+// fnv32a is the FNV-1a hash of s, inlined to keep the append hot path
+// allocation-free.
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (db *DB) shardFor(id string) *shard {
+	return &db.shards[fnv32a(id)%uint32(len(db.shards))]
+}
+
+func (sh *shard) getOrCreate(id string, rc *RetentionConfig) *memSeries {
+	m := sh.series[id]
+	if m == nil {
+		m = newMemSeries(rc)
+		sh.series[id] = m
+	}
+	return m
+}
+
+// Append adds one point to the series with the given id, creating the
+// series on first write. Appends never fail for capacity: a full raw ring
+// compacts its oldest point into the retention tiers instead.
+func (db *DB) Append(id string, p series.Point) {
+	sh := db.shardFor(id)
+	sh.mu.Lock()
+	sh.getOrCreate(id, &db.cfg.Retention).append(p, &db.cfg.Retention)
+	sh.mu.Unlock()
+}
+
+// AppendUniform stores every sample of a uniform trace under id, taking
+// the shard lock once for the whole block.
+func (db *DB) AppendUniform(id string, u *series.Uniform) {
+	sh := db.shardFor(id)
+	sh.mu.Lock()
+	m := sh.getOrCreate(id, &db.cfg.Retention)
+	for i, v := range u.Values {
+		m.append(series.Point{Time: u.TimeAt(i), Value: v}, &db.cfg.Retention)
+	}
+	sh.mu.Unlock()
+}
+
+// SetNyquistRate records the series' estimated Nyquist rate (2·f_max, in
+// hertz) and re-derives its tier bucket widths: the first tier becomes
+// lossless at Headroom×rate, deeper tiers widen by the fan-out. This is
+// the estimate→retain loop: live estimators feed their current estimate
+// here and retention follows the signal. Non-positive or non-finite rates
+// are ignored. Existing buckets keep their widths; only future buckets
+// use the new grid.
+func (db *DB) SetNyquistRate(id string, rate float64) {
+	if !(rate > 0) || math.IsInf(rate, 1) {
+		return
+	}
+	sh := db.shardFor(id)
+	sh.mu.Lock()
+	m := sh.getOrCreate(id, &db.cfg.Retention)
+	m.nyquist = rate
+	m.retune(&db.cfg.Retention)
+	sh.mu.Unlock()
+}
+
+// NyquistRate returns the series' recorded Nyquist rate estimate in
+// hertz, or 0 when none was set.
+func (db *DB) NyquistRate(id string) float64 {
+	sh := db.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if m := sh.series[id]; m != nil {
+		return m.nyquist
+	}
+	return 0
+}
+
+// Query returns the retained samples for id within [from, to), stitched
+// across tiers: coarse (older) tiers first, the raw ring last, sorted by
+// time. A zero from or to leaves that side unbounded. Compacted buckets
+// are returned when their own [start, end) coverage overlaps the window.
+// Only tiers (and the raw ring) whose retained band intersects the
+// window are read, so recent queries touch just the raw ring. When
+// maxPoints > 0 and the stitched result is larger, it is stride-thinned
+// to exactly maxPoints (Result.Thinned reports the degradation).
+func (db *DB) Query(id string, from, to time.Time, maxPoints int) (*QueryResult, error) {
+	sh := db.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	m := sh.series[id]
+	if m == nil {
+		return nil, ErrNoSeries
+	}
+	return m.query(id, from, to, maxPoints), nil
+}
+
+// Full returns everything retained for id across all tiers.
+func (db *DB) Full(id string) (*QueryResult, error) {
+	return db.Query(id, time.Time{}, time.Time{}, 0)
+}
+
+// IDs returns the stored series ids, sorted.
+func (db *DB) IDs() []string {
+	var out []string
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for id := range sh.series {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Points returns the total number of retained points (raw samples plus
+// finalized and in-progress tier buckets) across all series.
+func (db *DB) Points() int {
+	total := 0
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for _, m := range sh.series {
+			total += m.retained()
+		}
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// Stats aggregates the whole database for operator reporting.
+func (db *DB) Stats() Stats {
+	st := Stats{Shards: len(db.shards), SeriesPerShard: make([]int, len(db.shards))}
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		st.SeriesPerShard[i] = len(sh.series)
+		st.Series += len(sh.series)
+		for _, m := range sh.series {
+			st.RawPoints += m.raw.size()
+			st.Buckets += m.buckets()
+			st.Appends += m.appends
+			st.Compacted += m.compacted
+			st.Dropped += m.dropped
+		}
+		sh.mu.RUnlock()
+	}
+	return st
+}
+
+// SeriesStats reports one series' retention state.
+func (db *DB) SeriesStats(id string) (*SeriesStats, error) {
+	sh := db.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	m := sh.series[id]
+	if m == nil {
+		return nil, ErrNoSeries
+	}
+	st := m.stats(id)
+	return &st, nil
+}
+
+// Snapshot reports every series' retention state, sorted by id.
+func (db *DB) Snapshot() []SeriesStats {
+	var out []SeriesStats
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for id, m := range sh.series {
+			out = append(out, m.stats(id))
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Stats is the database-wide operator report.
+type Stats struct {
+	// Shards is the shard count.
+	Shards int
+	// Series is the number of stored series.
+	Series int
+	// RawPoints is the number of full-resolution samples retained.
+	RawPoints int
+	// Buckets is the number of retained tier buckets (including the
+	// in-progress bucket of each tier).
+	Buckets int
+	// Appends counts every point ever written.
+	Appends int64
+	// Compacted counts raw samples that cascaded into the tiers.
+	Compacted int64
+	// Dropped counts raw samples represented by buckets aged out of the
+	// last tier — the only data the engine ever forgets.
+	Dropped int64
+	// SeriesPerShard is the series count per shard (load-balance view).
+	SeriesPerShard []int
+}
+
+// Retained returns the total points currently held (raw + buckets).
+func (s Stats) Retained() int { return s.RawPoints + s.Buckets }
+
+// SeriesStats is one series' retention state.
+type SeriesStats struct {
+	// ID is the series id.
+	ID string
+	// NyquistRate is the recorded estimate in hertz (0 = none).
+	NyquistRate float64
+	// Appends, Compacted and Dropped mirror the Stats counters for this
+	// series alone.
+	Appends, Compacted, Dropped int64
+	// RawPoints is the raw ring's current size.
+	RawPoints int
+	// RawOldest and RawNewest bound the raw ring's retained window (zero
+	// when empty).
+	RawOldest, RawNewest time.Time
+	// Tiers describes each downsampled tier, finest first.
+	Tiers []TierStats
+}
+
+// TierStats is one downsampled tier's state.
+type TierStats struct {
+	// Width is the tier's current bucket width.
+	Width time.Duration
+	// Buckets is the number of retained buckets (including in-progress).
+	Buckets int
+	// Samples is the number of raw samples those buckets represent.
+	Samples int64
+	// Oldest and Newest bound the tier's retained window: the oldest
+	// bucket's start and the newest bucket's coverage end (zero when
+	// empty).
+	Oldest, Newest time.Time
+}
