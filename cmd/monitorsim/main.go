@@ -1,13 +1,21 @@
-// Command monitorsim runs the monitoring pipeline over a simulated device
-// and prints the static-versus-adaptive cost/quality comparison — the
-// paper's thesis on one device, end to end.
+// Command monitorsim runs the monitoring pipeline end to end: over a
+// single simulated device (the static-versus-adaptive cost/quality
+// comparison, the paper's thesis in miniature) or — with -scenario —
+// over a whole workload regime driven by the closed-loop fleet
+// controller: Scanner census, per-round streaming estimation, budgeted
+// rate allocation, Nyquist-tuned storage retention.
 //
 // Usage:
 //
 //	monitorsim [-metric temperature] [-interval 30s] [-hours 24] [-seed 1] [-burst]
+//	monitorsim -scenario diurnal [-devices 1000] [-rounds 0] [-budget 1] [-seed 1]
+//	monitorsim -list-scenarios
 //
 // -burst injects a link-flap-style transient a third of the way in, the
-// §4.2 scenario that forces the adaptive poller to probe up and back down.
+// §4.2 scenario that forces the adaptive poller to probe up and back
+// down. -scenario selects a regime from the catalog (see
+// -list-scenarios); -budget scales the fleet-wide sample budget as a
+// fraction of the production rate (0 = the regime's default).
 package main
 
 import (
@@ -31,6 +39,12 @@ func main() {
 		seed       = flag.Int64("seed", 1, "device seed")
 		burst      = flag.Bool("burst", false, "inject a transient high-frequency event")
 		list       = flag.Bool("list", false, "list metric families and exit")
+
+		scenario  = flag.String("scenario", "", "run the closed-loop controller on this workload regime (see -list-scenarios)")
+		devices   = flag.Int("devices", 0, "fleet size for -scenario (0 = the regime's default)")
+		rounds    = flag.Int("rounds", 0, "max control rounds (0 = the regime's convergence bound)")
+		budget    = flag.Float64("budget", 0, "fleet sample budget as a fraction of the production rate (0 = regime default)")
+		listScens = flag.Bool("list-scenarios", false, "list the scenario catalog and exit")
 	)
 	flag.Parse()
 
@@ -39,6 +53,17 @@ func main() {
 			p := fleet.ProfileFor(m)
 			fmt.Printf("%-20s %-8s nyquist %.3g..%.3g Hz\n", key(p.Name), p.Unit, p.NyquistLo, p.NyquistHi)
 		}
+		return
+	}
+	if *listScens {
+		for _, sp := range fleet.Scenarios() {
+			fmt.Printf("%-12s %s (default %d devices, <=%d rounds, quality bar %.0f%% of swing)\n",
+				sp.Name, sp.Description, sp.DefaultDevices, sp.MaxRounds, 100*sp.QualityBar)
+		}
+		return
+	}
+	if *scenario != "" {
+		runScenario(*scenario, *seed, *devices, *rounds, *budget)
 		return
 	}
 
@@ -99,6 +124,41 @@ func main() {
 	}
 
 	reportStorage(dev, *interval, dur)
+}
+
+// runScenario drives the closed-loop controller over a catalog regime:
+// census the fleet with the concurrent scanner, then iterate the
+// estimate → budgeted poll rate → retention loop until rates converge.
+func runScenario(name string, seed int64, devices, rounds int, budgetFrac float64) {
+	sc, err := fleet.BuildScenario(name, seed, devices)
+	if err != nil {
+		fatal(err)
+	}
+	prod := 0.0
+	for _, d := range sc.Fleet.Devices {
+		prod += d.PollRate()
+	}
+	if budgetFrac <= 0 {
+		budgetFrac = sc.Spec.BudgetFraction
+	}
+	ctl, err := fleet.NewController(sc, fleet.ControllerConfig{
+		BudgetHz:    prod * budgetFrac,
+		InitialScan: true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("scenario %q: %s\n", sc.Spec.Name, sc.Spec.Description)
+	fmt.Printf("fleet: %d devices at %.4g Hz production, budget %.4g Hz (%.2gx production)\n\n",
+		len(sc.Fleet.Devices), prod, prod*budgetFrac, budgetFrac)
+	fmt.Println("scanner census (production rates):")
+	fmt.Print(ctl.CensusReport().Render())
+	rep, err := ctl.Run(rounds)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(rep.Render())
 }
 
 // reportStorage runs the production polls once more through the sharded

@@ -1,0 +1,82 @@
+// Closedloop: the paper's whole argument in one running system. A
+// synthetic datacenter regime (pick one from the scenario catalog) is
+// monitored by a fleet controller that closes the loop the paper leaves
+// open: estimate each signal's Nyquist rate from its own stream, spend a
+// fleet-wide sample budget where the estimates say it matters, and let
+// the storage engine's retention follow the same estimates — so
+// collection, transmission, storage and analysis all shrink together
+// toward the cost/quality sweet spot.
+//
+// The run prints three acts:
+//
+//  1. The census (PR 1's concurrent scanner): how over-sampled the fleet
+//     is at its ad-hoc production rates.
+//  2. The control rounds: fleet rate, demand, budget quality and
+//     convergence per round, as the loop re-allocates poll rates.
+//  3. The outcome: cost reduction versus production, reconstruction
+//     error against ground truth, and the storage engine's Nyquist-tuned
+//     retention state.
+//
+// Run with: go run ./examples/closedloop [-scenario racks] [-devices 200]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/fleet"
+)
+
+func main() {
+	name := flag.String("scenario", "racks", "workload regime (diurnal, microburst, flatline, sweep, racks, phasejitter)")
+	devices := flag.Int("devices", 200, "fleet size")
+	seed := flag.Int64("seed", 7, "scenario seed")
+	flag.Parse()
+
+	sc, err := fleet.BuildScenario(*name, *seed, *devices)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prod := 0.0
+	for _, d := range sc.Fleet.Devices {
+		prod += d.PollRate()
+	}
+	budget := prod * sc.Spec.BudgetFraction
+
+	ctl, err := fleet.NewController(sc, fleet.ControllerConfig{
+		BudgetHz:    budget,
+		InitialScan: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("=== act 1: the census ===\n")
+	fmt.Printf("regime %q: %s\n\n", sc.Spec.Name, sc.Spec.Description)
+	fmt.Print(ctl.CensusReport().Render())
+
+	fmt.Printf("\n=== act 2: closing the loop ===\n")
+	rep, err := ctl.Run(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Render())
+
+	fmt.Printf("\n=== act 3: where the budget went ===\n")
+	over, under := 0, 0
+	for _, st := range ctl.Devices() {
+		switch {
+		case st.TrueNyquist > 0 && st.Rate >= st.TrueNyquist:
+			over++
+		default:
+			under++
+		}
+	}
+	fmt.Printf("devices polling at/above their true Nyquist rate: %d; below (budgeted or flat): %d\n", over, under)
+	if rep.FinalHz > 0 {
+		fmt.Printf("steady-state pipeline: %.4g Hz vs %.4g Hz production (%.1fx cheaper), quality bar %.0f%% of swing, measured %.1f%%\n",
+			rep.FinalHz, rep.ProductionHz, rep.ProductionHz/rep.FinalHz, 100*sc.Spec.QualityBar, 100*rep.Quality.MeanErr)
+	}
+	fmt.Println("\n(cf. the paper's sweet spot: spend the monitoring budget where the signals need it, nowhere else)")
+}

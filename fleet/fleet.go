@@ -33,7 +33,23 @@ type (
 	Burst = dcsim.Burst
 	// BandLimited is a strictly band-limited test signal.
 	BandLimited = dcsim.BandLimited
+	// Scenario is a built workload regime from the scenario catalog.
+	Scenario = dcsim.Scenario
+	// ScenarioSpec names and bounds one catalog regime.
+	ScenarioSpec = dcsim.ScenarioSpec
 )
+
+// BuildScenario builds a named workload regime deterministically.
+var BuildScenario = dcsim.BuildScenario
+
+// Scenarios returns the scenario catalog specs in catalog order.
+var Scenarios = dcsim.Scenarios
+
+// ScenarioNames returns the catalog keys, sorted.
+var ScenarioNames = dcsim.ScenarioNames
+
+// ErrUnknownScenario reports a scenario name outside the catalog.
+var ErrUnknownScenario = dcsim.ErrUnknownScenario
 
 // The fourteen metric families of the paper's Fig. 5.
 const (

@@ -1,0 +1,71 @@
+package fleet
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "regenerate golden files under testdata/")
+
+// goldenRun is the pinned configuration: every catalog scenario, seed 101,
+// 48 devices, production-rate budget scaled by the regime's fraction, a
+// Scanner census seeding round 1. Any behavioural change to the scenario
+// builders, the scanner, the estimator, the allocator, the controller or
+// the store's accounting shows up as a golden diff — the point: this is
+// the regression net over the whole estimate→poll→retain artery.
+func goldenRun(t *testing.T, name string) string {
+	t.Helper()
+	sc, err := BuildScenario(name, 101, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := 0.0
+	for _, d := range sc.Fleet.Devices {
+		prod += d.PollRate()
+	}
+	ctl, err := NewController(sc, ControllerConfig{
+		Workers:     4,
+		BudgetHz:    prod * sc.Spec.BudgetFraction,
+		InitialScan: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ctl.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("=== scanner census (window %v) ===\n%s\n=== closed loop ===\n%s",
+		6*time.Hour, ctl.CensusReport().Render(), rep.Render())
+}
+
+func TestScenarioGoldenReports(t *testing.T) {
+	for _, sp := range Scenarios() {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			got := goldenRun(t, sp.Name)
+			path := filepath.Join("testdata", "scenario_"+sp.Name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run: go test ./fleet -run TestScenarioGoldenReports -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("report for %q drifted from %s.\nIf the change is intentional, regenerate with -update.\n--- got ---\n%s\n--- want ---\n%s",
+					sp.Name, path, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,208 @@
+package dcsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScenarioCatalogIntegrity(t *testing.T) {
+	specs := Scenarios()
+	if len(specs) < 6 {
+		t.Fatalf("catalog has %d regimes, want >= 6", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, sp := range specs {
+		if sp.Name == "" || seen[sp.Name] {
+			t.Fatalf("bad or duplicate scenario name %q", sp.Name)
+		}
+		seen[sp.Name] = true
+		if sp.MaxRounds < 1 {
+			t.Errorf("%s: MaxRounds %d < 1", sp.Name, sp.MaxRounds)
+		}
+		if !(sp.QualityBar > 0 && sp.QualityBar < 1) {
+			t.Errorf("%s: QualityBar %v outside (0, 1)", sp.Name, sp.QualityBar)
+		}
+		if !(sp.BudgetFraction > 0) {
+			t.Errorf("%s: BudgetFraction %v not positive", sp.Name, sp.BudgetFraction)
+		}
+		if sp.DefaultDevices < 1 {
+			t.Errorf("%s: DefaultDevices %d < 1", sp.Name, sp.DefaultDevices)
+		}
+	}
+}
+
+func TestBuildScenarioUnknownName(t *testing.T) {
+	if _, err := BuildScenario("no-such-regime", 1, 8); err == nil {
+		t.Fatal("expected an error for an unknown scenario name")
+	}
+}
+
+// Scenario builds must be fully deterministic in (name, seed, devices):
+// golden tests and cross-run debugging depend on it.
+func TestBuildScenarioDeterministic(t *testing.T) {
+	for _, sp := range Scenarios() {
+		a, err := BuildScenario(sp.Name, 42, 24)
+		if err != nil {
+			t.Fatalf("%s: %v", sp.Name, err)
+		}
+		b, err := BuildScenario(sp.Name, 42, 24)
+		if err != nil {
+			t.Fatalf("%s: %v", sp.Name, err)
+		}
+		if len(a.Fleet.Devices) != 24 || len(b.Fleet.Devices) != 24 {
+			t.Fatalf("%s: device counts %d/%d, want 24", sp.Name, len(a.Fleet.Devices), len(b.Fleet.Devices))
+		}
+		for i := range a.Fleet.Devices {
+			da, db := a.Fleet.Devices[i], b.Fleet.Devices[i]
+			if da.ID != db.ID || da.TrueNyquist != db.TrueNyquist || da.PollInterval != db.PollInterval {
+				t.Fatalf("%s dev %d: rebuild differs (%s %v %v) vs (%s %v %v)",
+					sp.Name, i, da.ID, da.TrueNyquist, da.PollInterval, db.ID, db.TrueNyquist, db.PollInterval)
+			}
+			if a.PhaseOffset[i] != b.PhaseOffset[i] {
+				t.Fatalf("%s dev %d: phase offsets differ", sp.Name, i)
+			}
+			// Device readings are deterministic point functions of time.
+			for _, ts := range []float64{0, 1234.5, 86000} {
+				if va, vb := da.At(ts), db.At(ts); va != vb {
+					t.Fatalf("%s dev %d: At(%v) differs: %v vs %v", sp.Name, i, ts, va, vb)
+				}
+			}
+		}
+		// Different seeds must give a different population.
+		c, err := BuildScenario(sp.Name, 43, 24)
+		if err != nil {
+			t.Fatalf("%s: %v", sp.Name, err)
+		}
+		// Band limits may be seed-independent (the sweep regime pins
+		// them to the device index), but the drawn signals must differ.
+		same := true
+		for i := range a.Fleet.Devices {
+			if a.Fleet.Devices[i].CleanAt(1234.5) != c.Fleet.Devices[i].CleanAt(1234.5) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: seeds 42 and 43 built identical signal populations", sp.Name)
+		}
+	}
+}
+
+func TestScenarioRegimeShapes(t *testing.T) {
+	// sweep: band limits strictly non-decreasing across the device index.
+	sw, err := BuildScenario("sweep", 7, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(sw.Fleet.Devices); i++ {
+		if sw.Fleet.Devices[i].TrueNyquist < sw.Fleet.Devices[i-1].TrueNyquist {
+			t.Fatalf("sweep: TrueNyquist not monotone at %d: %v < %v",
+				i, sw.Fleet.Devices[i].TrueNyquist, sw.Fleet.Devices[i-1].TrueNyquist)
+		}
+	}
+	lo, hi := sw.Fleet.Devices[0].TrueNyquist, sw.Fleet.Devices[31].TrueNyquist
+	if hi/lo < 100 {
+		t.Errorf("sweep spans only %.1fx, want >= 100x (three decades of band limit)", hi/lo)
+	}
+
+	// flatline: exported readings are constant over a day of polls.
+	fl, err := BuildScenario("flatline", 7, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range fl.Fleet.Devices {
+		iv := d.PollInterval.Seconds()
+		first := d.At(0)
+		for k := 1; k < 64; k++ {
+			if v := d.At(float64(k) * iv * 20); v != first {
+				t.Fatalf("flatline %s: reading moved from %v to %v", d.ID, first, v)
+			}
+		}
+	}
+
+	// phasejitter: offsets populated, inside one poll interval; every
+	// other regime leaves them zero.
+	pj, err := BuildScenario("phasejitter", 7, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonzero := 0
+	for i, d := range pj.Fleet.Devices {
+		off := pj.PhaseOffset[i]
+		if off < 0 || off >= d.PollInterval.Seconds() {
+			t.Fatalf("phasejitter dev %d: offset %v outside [0, %v)", i, off, d.PollInterval.Seconds())
+		}
+		if off != 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 16 {
+		t.Errorf("phasejitter: only %d/32 devices jittered", nonzero)
+	}
+	di, err := BuildScenario("diurnal", 7, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, off := range di.PhaseOffset {
+		if off != 0 {
+			t.Fatalf("diurnal dev %d: unexpected phase offset %v", i, off)
+		}
+	}
+
+	// racks: devices within a rack are strongly correlated, devices of
+	// different racks are not.
+	rk, err := BuildScenario("racks", 7, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRack := signalCorrelation(rk.Fleet.Devices[0], rk.Fleet.Devices[1])
+	crossRack := signalCorrelation(rk.Fleet.Devices[0], rk.Fleet.Devices[16])
+	if sameRack < 0.8 {
+		t.Errorf("racks: same-rack clean-signal correlation %.2f, want >= 0.8", sameRack)
+	}
+	if math.Abs(crossRack) > 0.6 {
+		t.Errorf("racks: cross-rack clean-signal correlation %.2f, want |r| < 0.6", crossRack)
+	}
+
+	// microburst: bursts actually perturb the signal somewhere in a day.
+	mb, err := BuildScenario("microburst", 7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range mb.Fleet.Devices {
+		moved := false
+		for k := 0; k < 4096 && !moved; k++ {
+			ts := float64(k) * 86400.0 / 4096
+			if d.CleanAt(ts) != d.profile.Base+d.sig.Base.At(ts) {
+				moved = true
+			}
+		}
+		if !moved {
+			t.Errorf("microburst %s: no burst contribution found in a day", d.ID)
+		}
+	}
+}
+
+// signalCorrelation is the Pearson correlation of two devices' clean
+// signals sampled over a day, normalized around their bases.
+func signalCorrelation(a, b *Device) float64 {
+	const n = 2048
+	var sa, sb, saa, sbb, sab float64
+	for k := 0; k < n; k++ {
+		ts := float64(k) * 86400.0 / n
+		va := a.CleanAt(ts) - a.profile.Base
+		vb := b.CleanAt(ts) - b.profile.Base
+		sa += va
+		sb += vb
+		saa += va * va
+		sbb += vb * vb
+		sab += va * vb
+	}
+	cov := sab/n - (sa/n)*(sb/n)
+	va := saa/n - (sa/n)*(sa/n)
+	vb := sbb/n - (sb/n)*(sb/n)
+	if va <= 0 || vb <= 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}

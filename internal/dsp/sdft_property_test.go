@@ -1,0 +1,79 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Differential property: over random window lengths, resync cadences,
+// stream lengths and signals, the sliding DFT's PSD must match the direct
+// FFT periodogram of the same window contents to floating-point accuracy.
+// The recurrence path (between resyncs) is exactly the code the property
+// stresses: drift there is invisible to the fixed-size unit tests.
+func TestSlidingDFTMatchesDirectFFTProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Arbitrary (non-power-of-two welcome) window lengths; Bluestein
+		// handles the odd ones.
+		n := 16 + rng.Intn(185)
+		// Resync cadence from "every push" to "never during this run".
+		resync := 1 + rng.Intn(4*n)
+		s, err := NewSlidingDFT(n, resync)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Push past the fill point by a random amount so the comparison
+		// window lands at a random phase between resyncs.
+		total := n + rng.Intn(3*n)
+		// A hostile signal: tones on and off the bin grid, a ramp, an
+		// offset, and noise.
+		offset := 50 * (rng.Float64() - 0.5)
+		slope := rng.Float64() - 0.5
+		f1 := float64(1+rng.Intn(n/2)) / float64(n)
+		f2 := rng.Float64() / 2
+		for i := 0; i < total; i++ {
+			ts := float64(i)
+			v := offset + slope*ts +
+				math.Sin(2*math.Pi*f1*ts+0.3) +
+				0.5*math.Sin(2*math.Pi*f2*ts+1.1) +
+				0.1*(rng.Float64()-0.5)
+			s.Push(v)
+		}
+
+		window := make([]float64, n)
+		if err := s.Window(window); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want, err := Periodogram(window, 1, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		got := make([]float64, s.Bins())
+		if err := s.PSDInto(got); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(got) != len(want.Power) {
+			t.Fatalf("seed %d: bin counts differ: %d vs %d", seed, len(got), len(want.Power))
+		}
+		// Tolerance scales with the window's total power: the recurrence
+		// redistributes eps-level error across bins.
+		var total2 float64
+		for _, v := range window {
+			total2 += v * v
+		}
+		tol := 1e-9 * (1 + total2)
+		for k := range got {
+			if math.Abs(got[k]-want.Power[k]) > tol {
+				t.Logf("seed %d: n=%d resync=%d bin %d: sliding %g vs fft %g (tol %g)",
+					seed, n, resync, k, got[k], want.Power[k], tol)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

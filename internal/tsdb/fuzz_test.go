@@ -1,0 +1,133 @@
+package tsdb
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/series"
+)
+
+// FuzzQueryRange drives a small, aggressively compacting DB through
+// random interleavings of appends, retention retunes (which cascade raw
+// samples through the tiers) and range queries, and checks the query
+// contract on every step:
+//
+//   - timestamps are monotonically non-decreasing after tier stitching,
+//   - no returned point starts at or after the window's end,
+//   - only bucket summaries (whose [start, end) coverage may legitimately
+//     straddle the window start) ever carry timestamps before `from`;
+//     raw samples are strictly in-window,
+//   - a point budget is never exceeded, and Thinned is set iff it bit.
+func FuzzQueryRange(f *testing.F) {
+	f.Add([]byte{0x01, 0x10, 0x42, 0x02, 0x80, 0x03, 0x00, 0xff})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x01, 0x01, 0x02, 0x02, 0x03, 0x03, 0x07})
+	f.Add([]byte("append-cascade-query-interleaving"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db := New(Config{
+			Shards: 2,
+			// Tiny capacities so a short op stream reaches the cascade
+			// and the last tier's forgetting path.
+			Retention: RetentionConfig{RawCapacity: 8, TierCapacity: 4, Tiers: 2, Fanout: 2},
+		})
+		const id = "fuzz/series"
+		epoch := time.Date(2021, 11, 10, 0, 0, 0, 0, time.UTC)
+		now := epoch
+		var appended int
+
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i], data[i+1]
+			switch op % 4 {
+			case 0: // append one point, time advancing 1..256 s
+				now = now.Add(time.Duration(1+int(arg)) * time.Second)
+				db.Append(id, series.Point{Time: now, Value: float64(int8(arg))})
+				appended++
+			case 1: // append a uniform block of up to 8 samples
+				n := 1 + int(arg%8)
+				vals := make([]float64, n)
+				for k := range vals {
+					vals[k] = float64(arg) + float64(k)
+				}
+				db.AppendUniform(id, &series.Uniform{
+					Start:    now.Add(time.Second),
+					Interval: time.Duration(1+int(arg%4)) * time.Second,
+					Values:   vals,
+				})
+				now = now.Add(time.Duration(n*(1+int(arg%4))) * time.Second)
+				appended += n
+			case 2: // retune retention from a pseudo-Nyquist estimate
+				rate := 1.0 / float64(1+int(arg))
+				db.SetNyquistRate(id, rate)
+			case 3: // query a window derived from the op stream
+				if appended == 0 {
+					continue
+				}
+				span := now.Sub(epoch)
+				from := epoch.Add(span * time.Duration(arg%16) / 16)
+				to := from.Add(span/time.Duration(1+arg%8) + time.Second)
+				budget := 0
+				if arg%3 == 0 {
+					budget = 1 + int(arg%32)
+				}
+				res, err := db.Query(id, from, to, budget)
+				if err != nil {
+					t.Fatalf("query [%v, %v): %v", from, to, err)
+				}
+				checkQueryResult(t, res, from, to, budget)
+			}
+		}
+		// Full must obey the same ordering contract.
+		if appended > 0 {
+			res, err := db.Full(id)
+			if err != nil {
+				t.Fatalf("full: %v", err)
+			}
+			checkQueryResult(t, res, time.Time{}, time.Time{}, 0)
+		}
+	})
+}
+
+func checkQueryResult(t *testing.T, res *QueryResult, from, to time.Time, budget int) {
+	t.Helper()
+	// Aggregates carry the (unthinned) bucket points; any stitched point
+	// not on that grid came from the raw ring and must be strictly
+	// in-window.
+	bucketTimes := make(map[time.Time]bool, len(res.Aggregates))
+	for _, a := range res.Aggregates {
+		bucketTimes[a.Time] = true
+	}
+	var prev time.Time
+	for i, p := range res.Points {
+		if i > 0 && p.Time.Before(prev) {
+			t.Fatalf("point %d at %v precedes point %d at %v — non-monotonic stitch", i, p.Time, i-1, prev)
+		}
+		prev = p.Time
+		if !to.IsZero() && !p.Time.Before(to) {
+			t.Fatalf("point %d at %v at/after window end %v", i, p.Time, to)
+		}
+		if !from.IsZero() && p.Time.Before(from) && !bucketTimes[p.Time] {
+			t.Fatalf("raw point %d at %v before window start %v", i, p.Time, from)
+		}
+	}
+	if budget > 0 {
+		if len(res.Points) > budget {
+			t.Fatalf("query returned %d points over the %d budget", len(res.Points), budget)
+		}
+		if res.Thinned && len(res.Points) != budget {
+			t.Fatalf("thinned result has %d points, budget %d — thinning must hit the budget exactly", len(res.Points), budget)
+		}
+	}
+	prev = time.Time{}
+	for i, a := range res.Aggregates {
+		if i > 0 && a.Time.Before(prev) {
+			t.Fatalf("aggregate %d at %v precedes aggregate %d — non-monotonic", i, a.Time, i-1)
+		}
+		prev = a.Time
+		if a.Count <= 0 {
+			t.Fatalf("aggregate %d summarizes %d samples", i, a.Count)
+		}
+		if a.Min > a.Max || a.Mean < a.Min || a.Mean > a.Max {
+			t.Fatalf("aggregate %d min/mean/max inconsistent: %v/%v/%v", i, a.Min, a.Mean, a.Max)
+		}
+	}
+}
