@@ -1,0 +1,109 @@
+// Command nyquistd is the Nyquist-aware ingest/query daemon: the
+// monitoring toolkit turned into a network service. External pollers
+// push batches of samples over HTTP; every series gets a live §3.2
+// streaming estimate, clean estimates retune the sharded store's
+// multi-resolution retention (the estimate→retain loop, closed across
+// the wire), and raw history is held in Gorilla-compressed blocks so a
+// serving node retains roughly an order of magnitude more points per
+// byte than a []Point store would.
+//
+// Usage:
+//
+//	nyquistd [-addr :9464] [-shards 16] [-raw-capacity 4096]
+//	         [-tier-capacity 1024] [-tiers 2] [-compress-block 128]
+//	         [-window 256] [-emit-every 8] [-max-body 8388608]
+//
+// The daemon prints "nyquistd: listening on HOST:PORT" once the socket
+// is bound (use -addr 127.0.0.1:0 to pick a free port: the printed line
+// is machine-parseable, which is how the CI smoke job finds it), serves
+// until SIGINT/SIGTERM, then drains in-flight requests and exits 0 with
+// a final store report. See docs/API.md for the endpoints.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/monitor"
+	"repro/internal/tsdb"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":9464", "listen address (host:port; port 0 picks a free one)")
+		shards       = flag.Int("shards", 16, "store shard count")
+		rawCapacity  = flag.Int("raw-capacity", 4096, "per-series raw ring capacity in points (0 = unbounded)")
+		tierCapacity = flag.Int("tier-capacity", 1024, "per-tier capacity in buckets")
+		tiers        = flag.Int("tiers", 2, "downsampled retention tiers below the raw ring")
+		compress     = flag.Int("compress-block", 128, "points per sealed Gorilla block (0 = uncompressed rings)")
+		window       = flag.Int("window", 256, "per-series streaming-estimator window in samples")
+		emitEvery    = flag.Int("emit-every", 8, "samples between estimate refreshes once a window is full")
+		maxBody      = flag.Int64("max-body", 8<<20, "max ingest request body in bytes")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+
+	store := monitor.NewTieredStore(tsdb.Config{
+		Shards: *shards,
+		Retention: tsdb.RetentionConfig{
+			RawCapacity:   *rawCapacity,
+			TierCapacity:  *tierCapacity,
+			Tiers:         *tiers,
+			CompressBlock: *compress,
+		},
+	})
+	srv := api.NewServer(api.Config{
+		Store:        store,
+		Ingest:       monitor.IngestConfig{WindowSamples: *window, EmitEvery: *emitEvery},
+		MaxBodyBytes: *maxBody,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nyquistd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("nyquistd: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "nyquistd: serve: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("nyquistd: shutting down, draining in-flight requests")
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "nyquistd: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	st := store.Stats()
+	fmt.Printf("nyquistd: served %d appends across %d series; retained %d raw + %d buckets",
+		st.Appends, st.Series, st.RawPoints, st.Buckets)
+	if st.CompressedEntries > 0 {
+		fmt.Printf("; %.2f bytes/point over %d sealed entries",
+			float64(st.CompressedBytes)/float64(st.CompressedEntries), st.CompressedEntries)
+	}
+	fmt.Println()
+}

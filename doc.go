@@ -10,7 +10,14 @@
 //   - repro/fleet — the synthetic datacenter, monitoring pipeline, and
 //     the drivers that regenerate every figure of the evaluation
 //
+// The toolkit also runs as a network service: cmd/nyquistd is the
+// Nyquist-aware ingest/query daemon (HTTP batch ingest with a live
+// estimate per pushed series, estimate-tuned retention over
+// Gorilla-compressed storage, tier-stitched range queries — see
+// docs/API.md), and cmd/monitorsim -push load-generates against it.
+//
 // The benchmarks in this package (bench_test.go) regenerate each paper
 // figure under the Go benchmark harness; see EXPERIMENTS.md for
-// paper-versus-measured results and DESIGN.md for the system inventory.
+// paper-versus-measured results (serving figures in BENCH_ingest.json)
+// and DESIGN.md for the system inventory.
 package repro

@@ -1,0 +1,395 @@
+// Package api is the serving surface of the monitoring toolkit: the
+// HTTP handlers behind cmd/nyquistd. It turns the in-process pipeline —
+// sharded compressed storage (internal/tsdb via monitor.Store) plus
+// estimate-on-ingest (monitor.IngestEstimator) — into a network service
+// external pollers can push telemetry into and query reconstructions,
+// estimates and operator advice back out of.
+//
+// Endpoints (all JSON; see docs/API.md for schemas and curl examples):
+//
+//	POST /api/v1/ingest    batch ingest, one JSON object per line
+//	GET  /api/v1/query     tier-stitched range read with a point budget
+//	GET  /api/v1/estimate  live Nyquist estimate + poll advice for a series
+//	GET  /api/v1/series    stored series inventory (retention detail per id)
+//	GET  /api/v1/stats     whole-store operator stats
+//	GET  /healthz          liveness
+//
+// Every ingested point lands in the store and feeds the series' live
+// estimator; clean estimates retune the series' retention tiers, so the
+// paper's estimate→retain loop closes for traffic the server never
+// polled itself. Handlers are safe for concurrent use and stateless
+// beyond the store/estimator pair, so one Server can sit behind any
+// net/http server or mux.
+package api
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/series"
+	"repro/internal/tsdb"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Store is the backing store. Nil selects the serving default:
+	// 16-shard engine, 4096-point compressed raw rings, two
+	// min/max/mean tiers of 1024 buckets, 128-entry Gorilla blocks.
+	Store *monitor.Store
+	// Ingest parameterizes the per-series estimate-on-ingest hook.
+	Ingest monitor.IngestConfig
+	// MaxBodyBytes bounds an ingest request body; zero selects 8 MiB.
+	MaxBodyBytes int64
+	// MaxQueryPoints caps (and defaults) a query's point budget; zero
+	// selects 10000. Clients asking for more are thinned to this.
+	MaxQueryPoints int
+}
+
+// DefaultStore returns the serving-default store configuration (see
+// Config.Store).
+func DefaultStore() *monitor.Store {
+	return monitor.NewTieredStore(tsdb.Config{
+		Shards: 16,
+		Retention: tsdb.RetentionConfig{
+			RawCapacity:   4096,
+			TierCapacity:  1024,
+			Tiers:         2,
+			CompressBlock: 128,
+		},
+	})
+}
+
+// Server holds the serving state: the store, the estimate-on-ingest
+// hook, and the HTTP plumbing around them.
+type Server struct {
+	cfg    Config
+	store  *monitor.Store
+	ingest *monitor.IngestEstimator
+	start  time.Time
+}
+
+// NewServer returns a Server over cfg.
+func NewServer(cfg Config) *Server {
+	if cfg.Store == nil {
+		cfg.Store = DefaultStore()
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.MaxQueryPoints <= 0 {
+		cfg.MaxQueryPoints = 10000
+	}
+	return &Server{
+		cfg:    cfg,
+		store:  cfg.Store,
+		ingest: monitor.NewIngestEstimator(cfg.Store, cfg.Ingest),
+		start:  time.Now(),
+	}
+}
+
+// Store exposes the backing store (reporting, tests).
+func (s *Server) Store() *monitor.Store { return s.store }
+
+// Handler returns the route mux. The returned handler is safe for
+// concurrent use.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/ingest", s.handleIngest)
+	mux.HandleFunc("GET /api/v1/query", s.handleQuery)
+	mux.HandleFunc("GET /api/v1/estimate", s.handleEstimate)
+	mux.HandleFunc("GET /api/v1/series", s.handleSeries)
+	mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// writeJSON writes v with status code; encode failures surface as 500s
+// only if nothing was flushed yet.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}
+
+// handleIngest consumes a JSON-lines batch (see IngestLine), appending
+// every parseable point to the store and the estimate-on-ingest hook.
+// Malformed lines are counted and reported, not fatal — a telemetry
+// batch with one bad record must not lose the other 999 — unless every
+// line fails, which returns 400.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	// maxLineBytes bounds one line; longer lines are rejected
+	// individually — the rest of the batch still lands (a Scanner's
+	// ErrTooLong would silently drop every subsequent line).
+	const maxLineBytes = 1 << 20
+	body := bufio.NewReaderSize(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), 64<<10)
+	resp := IngestResponse{}
+	seen := map[string]bool{}
+	lineNo := 0
+	for {
+		line, err := body.ReadBytes('\n')
+		if len(line) > 0 {
+			lineNo++
+			switch line = bytes.TrimRight(line, "\r\n"); {
+			case len(line) > maxLineBytes:
+				resp.reject(lineNo, fmt.Sprintf("line exceeds %d bytes", maxLineBytes))
+			case len(line) == 0 || allSpace(line):
+				// blank separator
+			default:
+				var in IngestLine
+				if jerr := json.Unmarshal(line, &in); jerr != nil {
+					resp.reject(lineNo, fmt.Sprintf("bad JSON: %v", jerr))
+					break
+				}
+				p, perr := in.point()
+				if perr != nil {
+					resp.reject(lineNo, perr.Error())
+					break
+				}
+				_ = s.store.Append(in.Series, p)
+				s.ingest.Observe(in.Series, p)
+				resp.Accepted++
+				if !seen[in.Series] {
+					seen[in.Series] = true
+					resp.Series++
+				}
+			}
+		}
+		if err != nil {
+			if err == io.EOF {
+				break
+			}
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Sprintf("body exceeds %d bytes after %d accepted points; split the batch", s.cfg.MaxBodyBytes, resp.Accepted))
+				return
+			}
+			resp.reject(lineNo+1, err.Error())
+			break
+		}
+	}
+	if resp.Accepted == 0 && resp.Rejected > 0 {
+		writeJSON(w, http.StatusBadRequest, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func allSpace(b []byte) bool {
+	for _, c := range b {
+		if c != ' ' && c != '\t' && c != '\r' {
+			return false
+		}
+	}
+	return true
+}
+
+// handleQuery answers a tier-stitched range read: ?series= (required),
+// optional from/to (RFC3339 or Unix seconds; absent = unbounded) and
+// max_points (defaulted and capped by MaxQueryPoints).
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	id := q.Get("series")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, "missing required parameter: series")
+		return
+	}
+	from, err := parseTimeParam(q.Get("from"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad from: "+err.Error())
+		return
+	}
+	to, err := parseTimeParam(q.Get("to"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad to: "+err.Error())
+		return
+	}
+	maxPoints := s.cfg.MaxQueryPoints
+	if v := q.Get("max_points"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "bad max_points: want a positive integer")
+			return
+		}
+		if n < maxPoints {
+			maxPoints = n
+		}
+	}
+	res, err := s.store.QueryRange(id, from, to, maxPoints)
+	if err != nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown series %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, queryResponseFrom(res))
+}
+
+// handleEstimate answers the live per-series estimate and poll advice:
+// ?series= (required).
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("series")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, "missing required parameter: series")
+		return
+	}
+	adv, ok := s.ingest.Advice(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("series %q was never ingested", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, estimateResponseFrom(adv, s.store.NyquistRate(id)))
+}
+
+// handleSeries lists stored series; ?series= narrows to one id with
+// full retention detail.
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	if id := r.URL.Query().Get("series"); id != "" {
+		st, err := s.store.DB().SeriesStats(id)
+		if err != nil {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown series %q", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, seriesEntryFrom(*st))
+		return
+	}
+	snap := s.store.Snapshot()
+	resp := SeriesResponse{Series: make([]SeriesEntry, 0, len(snap))}
+	for _, st := range snap {
+		resp.Series = append(resp.Series, seriesEntryFrom(st))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleStats reports whole-store operator stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponseFrom(s.store.Stats(), s.ingest.Len(), time.Since(s.start)))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+// parseTimeParam accepts RFC3339(Nano) timestamps or Unix seconds
+// (fractional allowed); empty means unbounded (zero time).
+func parseTimeParam(v string) (time.Time, error) {
+	if v == "" {
+		return time.Time{}, nil
+	}
+	if t, err := time.Parse(time.RFC3339Nano, v); err == nil {
+		return t, nil
+	}
+	if t, err := timeFromUnixSeconds(v); err == nil {
+		return t, nil
+	}
+	return time.Time{}, fmt.Errorf("%q is neither RFC3339 nor Unix seconds", v)
+}
+
+var errPointShape = errors.New("want {\"series\": string, \"ts\": RFC3339 string or Unix seconds, \"value\": number}")
+
+// point validates an ingest line into a storable sample.
+func (l *IngestLine) point() (series.Point, error) {
+	if l.Series == "" {
+		return series.Point{}, fmt.Errorf("missing series: %w", errPointShape)
+	}
+	if l.Value == nil {
+		return series.Point{}, fmt.Errorf("missing value: %w", errPointShape)
+	}
+	raw := []byte(l.TS)
+	if len(raw) == 0 || string(raw) == "null" {
+		return series.Point{}, fmt.Errorf("missing ts: %w", errPointShape)
+	}
+	var (
+		t   time.Time
+		err error
+	)
+	if raw[0] == '"' {
+		var s string
+		if json.Unmarshal(raw, &s) != nil {
+			return series.Point{}, fmt.Errorf("bad ts %s: %w", raw, errPointShape)
+		}
+		t, err = time.Parse(time.RFC3339Nano, s)
+		if err != nil {
+			return series.Point{}, fmt.Errorf("bad ts %q: %w", s, errPointShape)
+		}
+	} else {
+		t, err = timeFromUnixSeconds(string(raw))
+		if err != nil {
+			return series.Point{}, fmt.Errorf("bad ts %s: %v (%w)", raw, err, errPointShape)
+		}
+	}
+	return series.Point{Time: t, Value: *l.Value}, nil
+}
+
+// timeFromUnixSeconds parses a decimal Unix-seconds literal exactly:
+// the integer and fractional digits convert separately, so second- and
+// millisecond-precision wire timestamps never pick up the ~100 ns noise
+// a float64 epoch conversion would add (which would poison the store's
+// delta-of-delta compression). Exponent forms fall back to float64 with
+// that (documented) precision loss.
+func timeFromUnixSeconds(s string) (time.Time, error) {
+	if strings.ContainsAny(s, "eE") {
+		sec, err := strconv.ParseFloat(s, 64)
+		const maxAbs = float64(1<<63-1) / 1e9
+		if err != nil || sec != sec || sec < -maxAbs || sec > maxAbs {
+			return time.Time{}, fmt.Errorf("%q is not a representable Unix-seconds timestamp", s)
+		}
+		whole := int64(sec)
+		return time.Unix(whole, int64((sec-float64(whole))*1e9)), nil
+	}
+	digits := s
+	neg := false
+	if strings.HasPrefix(digits, "-") {
+		neg = true
+		digits = digits[1:]
+	}
+	intPart, frac, _ := strings.Cut(digits, ".")
+	if intPart == "" {
+		if frac == "" {
+			// "-", "." and "-." are not timestamps, not epoch 0.
+			return time.Time{}, fmt.Errorf("%q is not a representable Unix-seconds timestamp", s)
+		}
+		intPart = "0"
+	}
+	// Unsigned parses: the sign was already stripped, and ParseInt would
+	// accept a second one ("--1").
+	usec, err := strconv.ParseUint(intPart, 10, 63)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("%q is not a representable Unix-seconds timestamp", s)
+	}
+	sec := int64(usec)
+	var ns int64
+	if frac != "" {
+		if len(frac) > 9 {
+			frac = frac[:9] // sub-nanosecond digits truncate
+		}
+		uns, err := strconv.ParseUint(frac, 10, 63)
+		if err != nil {
+			return time.Time{}, fmt.Errorf("%q is not a representable Unix-seconds timestamp", s)
+		}
+		ns = int64(uns)
+		for i := len(frac); i < 9; i++ {
+			ns *= 10
+		}
+	}
+	if neg {
+		sec, ns = -sec, -ns
+	}
+	return time.Unix(sec, ns), nil
+}

@@ -1,0 +1,86 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// BenchmarkIngestBatch measures the serving hot path: one op is a
+// 1000-line POST /api/v1/ingest batch (store append + estimate-on-ingest
+// for every line), spread over 16 series. points/s is reported as a
+// custom metric; BENCH_ingest.json records the measured figures.
+func BenchmarkIngestBatch(b *testing.B) {
+	srv := NewServer(Config{})
+	h := srv.Handler()
+	const (
+		batchLines = 1000
+		nSeries    = 16
+	)
+	start := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	// Pre-render one batch per iteration window: distinct timestamps per
+	// iteration keep the store appending forward, as a real poller
+	// would. Bodies are rebuilt cheaply by timestamp offset.
+	mkBatch := func(iter int) string {
+		var sb strings.Builder
+		sb.Grow(batchLines * 64)
+		base := start.Add(time.Duration(iter*batchLines/nSeries) * 30 * time.Second)
+		for i := 0; i < batchLines; i++ {
+			ts := base.Add(time.Duration(i/nSeries) * 30 * time.Second)
+			fmt.Fprintf(&sb, `{"series":"bench/dev%02d/metric","ts":%d,"value":%.2f}`+"\n",
+				i%nSeries, ts.Unix(), 40+float64(i%37)*0.25)
+		}
+		return sb.String()
+	}
+	bodies := make([]string, 8)
+	for i := range bodies {
+		bodies[i] = mkBatch(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/api/v1/ingest", strings.NewReader(bodies[i%len(bodies)]))
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, req)
+		if rw.Code != http.StatusOK {
+			b.Fatalf("HTTP %d: %s", rw.Code, rw.Body.String())
+		}
+	}
+	b.StopTimer()
+	pointsPerSec := float64(b.N) * batchLines / b.Elapsed().Seconds()
+	b.ReportMetric(pointsPerSec, "points/s")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batchLines), "ns/point")
+}
+
+// BenchmarkQueryRecent measures the read hot path: a recent-window query
+// with a 500-point budget against a store holding compressed history.
+func BenchmarkQueryRecent(b *testing.B) {
+	srv := NewServer(Config{})
+	h := srv.Handler()
+	start := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	var sb strings.Builder
+	for i := 0; i < 8192; i++ {
+		fmt.Fprintf(&sb, `{"series":"bench/dev00/metric","ts":%d,"value":%.2f}`+"\n",
+			start.Add(time.Duration(i)*30*time.Second).Unix(), 40+float64(i%37)*0.25)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/api/v1/ingest", strings.NewReader(sb.String()))
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, req)
+	if rw.Code != http.StatusOK {
+		b.Fatalf("seed ingest: HTTP %d", rw.Code)
+	}
+	from := start.Add(7000 * 30 * time.Second).Format(time.RFC3339)
+	url := "/api/v1/query?series=bench/dev00/metric&from=" + from + "&max_points=500"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, httptest.NewRequest(http.MethodGet, url, nil))
+		if rw.Code != http.StatusOK {
+			b.Fatalf("HTTP %d", rw.Code)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// The wire format: JSON shapes for every endpoint, kept apart from the
+// handlers so docs/API.md has a single place to mirror. Field names are
+// snake_case; times are RFC3339Nano strings on the way out and RFC3339
+// or Unix seconds on the way in; durations and widths are fractional
+// seconds; rates are hertz.
+
+package api
+
+import (
+	"encoding/json"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/tsdb"
+)
+
+// IngestLine is one POST /api/v1/ingest line: a JSON object per point.
+// TS accepts an RFC3339(Nano) string or fractional Unix seconds; numeric
+// timestamps are parsed decimally (not through float64), so integer- and
+// millisecond-precision epochs stay exact — off-grid nanosecond noise
+// would poison the store's delta-of-delta timestamp compression.
+type IngestLine struct {
+	Series string          `json:"series"`
+	TS     json.RawMessage `json:"ts"`
+	Value  *float64        `json:"value"`
+}
+
+// IngestResponse summarizes a batch: how many lines landed, how many
+// were malformed (with the first few reasons), and how many distinct
+// series the batch touched.
+type IngestResponse struct {
+	Accepted int           `json:"accepted"`
+	Rejected int           `json:"rejected"`
+	Series   int           `json:"series"`
+	Errors   []IngestError `json:"errors,omitempty"`
+}
+
+// IngestError locates one rejected line.
+type IngestError struct {
+	Line   int    `json:"line"`
+	Reason string `json:"reason"`
+}
+
+// maxIngestErrors bounds the per-batch error detail.
+const maxIngestErrors = 5
+
+func (r *IngestResponse) reject(line int, reason string) {
+	r.Rejected++
+	if len(r.Errors) < maxIngestErrors {
+		r.Errors = append(r.Errors, IngestError{Line: line, Reason: reason})
+	}
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// QueryResponse is a tier-stitched range read. Points from downsampled
+// tiers carry their bucket's grid start time and mean value; Aggregates
+// holds those buckets' full min/max/mean summaries.
+type QueryResponse struct {
+	Series string      `json:"series"`
+	Points []PointJSON `json:"points"`
+	// Tiers lists each storage tier that contributed (0 = raw samples,
+	// k ≥ 1 = the k-th downsampled tier), in read order.
+	Tiers      []TierSliceJSON `json:"tiers,omitempty"`
+	Aggregates []AggPointJSON  `json:"aggregates,omitempty"`
+	// Thinned reports the stitched result exceeded the point budget and
+	// was stride-decimated down to it.
+	Thinned bool `json:"thinned"`
+}
+
+// PointJSON is one sample on the wire.
+type PointJSON struct {
+	TS    string  `json:"ts"`
+	Value float64 `json:"value"`
+}
+
+// TierSliceJSON records one tier's contribution to a query.
+type TierSliceJSON struct {
+	Tier         int     `json:"tier"`
+	WidthSeconds float64 `json:"width_seconds,omitempty"`
+	Points       int     `json:"points"`
+}
+
+// AggPointJSON is one bucket summary on the wire.
+type AggPointJSON struct {
+	TS    string  `json:"ts"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	Count int64   `json:"count"`
+}
+
+func queryResponseFrom(res *tsdb.QueryResult) QueryResponse {
+	out := QueryResponse{Series: res.ID, Points: make([]PointJSON, 0, len(res.Points)), Thinned: res.Thinned}
+	for _, p := range res.Points {
+		out.Points = append(out.Points, PointJSON{TS: wireTime(p.Time), Value: p.Value})
+	}
+	for _, t := range res.Tiers {
+		out.Tiers = append(out.Tiers, TierSliceJSON{Tier: t.Tier, WidthSeconds: t.Width.Seconds(), Points: t.Points})
+	}
+	for _, a := range res.Aggregates {
+		out.Aggregates = append(out.Aggregates, AggPointJSON{
+			TS: wireTime(a.Time), Min: a.Min, Max: a.Max, Mean: a.Mean, Count: a.Count,
+		})
+	}
+	return out
+}
+
+// EstimateResponse is the live per-series estimate and poll advice.
+type EstimateResponse struct {
+	Series  string `json:"series"`
+	Samples int64  `json:"samples"`
+	// IntervalSeconds is the locked poll interval (0 while the first
+	// few points still probe it).
+	IntervalSeconds float64 `json:"interval_seconds"`
+	// Warm reports a full analysis window has been seen; the estimate
+	// fields are meaningful only when true.
+	Warm bool `json:"warm"`
+	// NyquistHz is the latest trusted (clean-streak) estimate, 0 = none.
+	NyquistHz float64 `json:"nyquist_hz"`
+	// SuggestedIntervalSeconds is the sweet-spot poll interval.
+	SuggestedIntervalSeconds float64 `json:"suggested_interval_seconds"`
+	// Aliased/AliasStreak report the aliasing verdict of the newest
+	// window and how many consecutive refreshes carried it.
+	Aliased     bool `json:"aliased"`
+	AliasStreak int  `json:"alias_streak"`
+	// EnergyCaptured is the spectral energy fraction below the cut-off.
+	EnergyCaptured float64 `json:"energy_captured"`
+	// RetentionNyquistHz is the rate the store's retention is currently
+	// tuned to (lags NyquistHz by the clean-streak debounce).
+	RetentionNyquistHz float64 `json:"retention_nyquist_hz"`
+	// UpdatedAt stamps the newest sample of the last estimate refresh.
+	UpdatedAt string `json:"updated_at,omitempty"`
+	// Reprobes counts poll-interval re-locks after sustained gap drift.
+	Reprobes int `json:"reprobes"`
+}
+
+func estimateResponseFrom(adv monitor.IngestAdvice, retentionHz float64) EstimateResponse {
+	out := EstimateResponse{
+		Series:                   adv.Series,
+		Samples:                  adv.Samples,
+		IntervalSeconds:          adv.Interval.Seconds(),
+		Warm:                     adv.Warm,
+		NyquistHz:                adv.NyquistRate,
+		SuggestedIntervalSeconds: adv.SuggestedInterval.Seconds(),
+		Aliased:                  adv.Aliased,
+		AliasStreak:              adv.AliasStreak,
+		EnergyCaptured:           adv.EnergyCaptured,
+		RetentionNyquistHz:       retentionHz,
+		Reprobes:                 adv.Reprobes,
+	}
+	if !adv.UpdatedAt.IsZero() {
+		out.UpdatedAt = wireTime(adv.UpdatedAt)
+	}
+	return out
+}
+
+// SeriesResponse inventories the stored series.
+type SeriesResponse struct {
+	Series []SeriesEntry `json:"series"`
+}
+
+// SeriesEntry is one series' retention state.
+type SeriesEntry struct {
+	Series    string  `json:"series"`
+	NyquistHz float64 `json:"nyquist_hz"`
+	Appends   int64   `json:"appends"`
+	RawPoints int     `json:"raw_points"`
+	Compacted int64   `json:"compacted"`
+	Dropped   int64   `json:"dropped"`
+	// CompressedBytes is the sealed Gorilla payload for this series (0
+	// when the store runs uncompressed).
+	CompressedBytes int64      `json:"compressed_bytes"`
+	RawOldest       string     `json:"raw_oldest,omitempty"`
+	RawNewest       string     `json:"raw_newest,omitempty"`
+	Tiers           []TierJSON `json:"tiers,omitempty"`
+}
+
+// TierJSON is one retention tier's state.
+type TierJSON struct {
+	WidthSeconds float64 `json:"width_seconds"`
+	Buckets      int     `json:"buckets"`
+	Samples      int64   `json:"samples"`
+	Oldest       string  `json:"oldest,omitempty"`
+	Newest       string  `json:"newest,omitempty"`
+}
+
+func seriesEntryFrom(st tsdb.SeriesStats) SeriesEntry {
+	e := SeriesEntry{
+		Series:          st.ID,
+		NyquistHz:       st.NyquistRate,
+		Appends:         st.Appends,
+		RawPoints:       st.RawPoints,
+		Compacted:       st.Compacted,
+		Dropped:         st.Dropped,
+		CompressedBytes: st.CompressedBytes,
+	}
+	if !st.RawOldest.IsZero() {
+		e.RawOldest = wireTime(st.RawOldest)
+		e.RawNewest = wireTime(st.RawNewest)
+	}
+	for _, t := range st.Tiers {
+		tj := TierJSON{WidthSeconds: t.Width.Seconds(), Buckets: t.Buckets, Samples: t.Samples}
+		if !t.Oldest.IsZero() {
+			tj.Oldest = wireTime(t.Oldest)
+			tj.Newest = wireTime(t.Newest)
+		}
+		e.Tiers = append(e.Tiers, tj)
+	}
+	return e
+}
+
+// StatsResponse is the whole-store operator report.
+type StatsResponse struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Shards        int     `json:"shards"`
+	Series        int     `json:"series"`
+	// EstimatedSeries counts series with a live ingest estimator.
+	EstimatedSeries int   `json:"estimated_series"`
+	RawPoints       int   `json:"raw_points"`
+	Buckets         int   `json:"buckets"`
+	Appends         int64 `json:"appends"`
+	Compacted       int64 `json:"compacted"`
+	Dropped         int64 `json:"dropped"`
+	// CompressedBytes/CompressedEntries describe the sealed Gorilla
+	// payload; BytesPerPoint is their ratio (0 when uncompressed).
+	CompressedBytes   int64   `json:"compressed_bytes"`
+	CompressedEntries int64   `json:"compressed_entries"`
+	BytesPerPoint     float64 `json:"bytes_per_point"`
+}
+
+func statsResponseFrom(st tsdb.Stats, estimated int, uptime time.Duration) StatsResponse {
+	out := StatsResponse{
+		UptimeSeconds:     uptime.Seconds(),
+		Shards:            st.Shards,
+		Series:            st.Series,
+		EstimatedSeries:   estimated,
+		RawPoints:         st.RawPoints,
+		Buckets:           st.Buckets,
+		Appends:           st.Appends,
+		Compacted:         st.Compacted,
+		Dropped:           st.Dropped,
+		CompressedBytes:   st.CompressedBytes,
+		CompressedEntries: st.CompressedEntries,
+	}
+	if st.CompressedEntries > 0 {
+		out.BytesPerPoint = float64(st.CompressedBytes) / float64(st.CompressedEntries)
+	}
+	return out
+}
+
+func wireTime(t time.Time) string { return t.UTC().Format(time.RFC3339Nano) }

@@ -1,0 +1,324 @@
+package monitor
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/series"
+)
+
+// IngestEstimator is the estimate-on-ingest hook for externally pushed
+// telemetry: the serving counterpart of the Archiver's riding stream.
+// Controller-managed devices get their Nyquist estimates from the poll
+// loop itself; series that arrive over a network boundary (internal/api,
+// cmd/nyquistd) have no poller to ride, so the hook rebuilds the same
+// loop from the ingest stream alone:
+//
+//  1. The first few points of an unknown series probe its poll interval
+//     (the median positive gap — external pollers jitter).
+//  2. Once the interval locks, every point feeds a per-series
+//     core.StreamEstimator, so a live §3.2 estimate, aliasing verdict
+//     and sweet-spot poll suggestion exist for every external series.
+//  3. Clean estimates retune the store's retention (Store.SetNyquist) —
+//     the paper's estimate→retain loop, closed across the wire. Aliased
+//     windows never retune (the §4.2 asymmetry: an aliased estimate is
+//     exactly the one you must not trust), they only raise AliasStreak
+//     so clients can poll faster.
+//
+// A sustained shift in the observed inter-arrival gap (a client
+// redeploy changing its poll rate) re-probes the interval and restarts
+// that series' window.
+//
+// IngestEstimator is safe for concurrent use; distinct series proceed in
+// parallel.
+type IngestEstimator struct {
+	cfg   IngestConfig
+	store *Store
+
+	mu     sync.RWMutex
+	series map[string]*ingestSeries
+}
+
+// IngestConfig parameterizes an IngestEstimator.
+type IngestConfig struct {
+	// WindowSamples is each series' sliding analysis window; zero
+	// selects 256 (shorter than the batch default: serving clients want
+	// first estimates after hundreds, not thousands, of points).
+	WindowSamples int
+	// EmitEvery is the number of points between estimate refreshes once
+	// a window is full; zero selects 8.
+	EmitEvery int
+	// Headroom multiplies the estimated Nyquist rate when suggesting a
+	// poll interval and when retuning retention; zero selects 1.2.
+	Headroom float64
+	// ProbeGaps is the number of inter-arrival gaps observed before the
+	// poll interval locks; zero selects 8.
+	ProbeGaps int
+	// DriftFactor bounds how far the observed gap may drift from the
+	// locked interval (in either direction) before the series re-probes;
+	// zero selects 2 (half/double). Values ≤ 1 disable drift re-probes.
+	DriftFactor float64
+	// RetuneCleanStreak is how many consecutive clean estimate refreshes
+	// a series needs before a refresh retunes retention — the mirror of
+	// the controller's §4.2 asymmetry (one clean window among aliased
+	// ones is noise, not license to coarsen storage). Zero selects 2.
+	RetuneCleanStreak int
+}
+
+func (c IngestConfig) withDefaults() IngestConfig {
+	if c.WindowSamples <= 0 {
+		c.WindowSamples = 256
+	}
+	if c.EmitEvery <= 0 {
+		c.EmitEvery = 8
+	}
+	if c.Headroom <= 1 {
+		c.Headroom = 1.2
+	}
+	if c.ProbeGaps <= 0 {
+		c.ProbeGaps = 8
+	}
+	if c.DriftFactor == 0 {
+		c.DriftFactor = 2
+	}
+	if c.RetuneCleanStreak <= 0 {
+		c.RetuneCleanStreak = 2
+	}
+	return c
+}
+
+// IngestAdvice is the live operator guidance for one ingested series.
+type IngestAdvice struct {
+	// Series is the series id.
+	Series string
+	// Samples counts every point observed for the series.
+	Samples int64
+	// Interval is the locked poll interval (0 while still probing).
+	Interval time.Duration
+	// Warm reports whether a full analysis window has been seen; the
+	// estimate fields below are meaningful only when it is.
+	Warm bool
+	// NyquistRate is the latest clean estimate in hertz (0 = none yet).
+	NyquistRate float64
+	// SuggestedInterval is the sweet-spot poll interval: 1/(Headroom ×
+	// NyquistRate) for clean windows, half the current interval while
+	// aliased.
+	SuggestedInterval time.Duration
+	// Aliased reports that the newest window carried the aliased
+	// signature; AliasStreak counts consecutive aliased refreshes (≥ 2
+	// means the client genuinely polls too slowly, not a one-window
+	// blip).
+	Aliased     bool
+	AliasStreak int
+	// EnergyCaptured is the spectral energy fraction below the cut-off
+	// in the newest window.
+	EnergyCaptured float64
+	// UpdatedAt is the newest sample's timestamp at the last estimate
+	// refresh (zero before the first refresh).
+	UpdatedAt time.Time
+	// Reprobes counts interval re-locks caused by sustained gap drift.
+	Reprobes int
+}
+
+// ingestSeries is one series' hook state. Its own mutex serializes
+// observations per series while distinct series proceed in parallel.
+type ingestSeries struct {
+	mu sync.Mutex
+
+	est      *core.StreamEstimator
+	interval time.Duration
+	pending  []series.Point // pre-lock probe window
+	lastTime time.Time
+	haveLast bool
+	samples  int64
+	reprobes int
+
+	// drift counts consecutive gaps outside the accepted band around
+	// the locked interval.
+	drift int
+	// cleanStreak counts consecutive clean estimate refreshes — the
+	// retune debounce.
+	cleanStreak int
+
+	last        *core.StreamUpdate
+	lastNyquist float64 // last clean estimate handed to SetNyquist
+}
+
+// NewIngestEstimator returns a hook feeding estimates into store (which
+// may be nil when only advice, not retention retuning, is wanted).
+func NewIngestEstimator(store *Store, cfg IngestConfig) *IngestEstimator {
+	return &IngestEstimator{
+		cfg:    cfg.withDefaults(),
+		store:  store,
+		series: make(map[string]*ingestSeries),
+	}
+}
+
+// Observe ingests one point for id. It never fails: pre-lock points
+// accumulate toward the interval probe, post-lock points feed the
+// series' streaming estimator, and clean estimate refreshes retune the
+// store's retention for id.
+func (e *IngestEstimator) Observe(id string, p series.Point) {
+	e.mu.RLock()
+	s := e.series[id]
+	e.mu.RUnlock()
+	if s == nil {
+		e.mu.Lock()
+		if s = e.series[id]; s == nil {
+			s = &ingestSeries{}
+			e.series[id] = s
+		}
+		e.mu.Unlock()
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.samples++
+	if s.est == nil {
+		s.probe(e, id, p)
+		return
+	}
+	// Drift watch: a sustained change in the inter-arrival gap means
+	// the client changed its poll rate; the locked grid (and with it
+	// the frequency axis) is wrong, so re-probe.
+	if s.haveLast && e.cfg.DriftFactor > 1 {
+		if gap := p.Time.Sub(s.lastTime); gap > 0 {
+			lo := time.Duration(float64(s.interval) / e.cfg.DriftFactor)
+			hi := time.Duration(float64(s.interval) * e.cfg.DriftFactor)
+			if gap < lo || gap > hi {
+				s.drift++
+			} else {
+				s.drift = 0
+			}
+			if s.drift > e.cfg.ProbeGaps {
+				s.reprobe(p)
+				return
+			}
+		}
+	}
+	s.lastTime, s.haveLast = p.Time, true
+	if up := s.est.Push(p.Value); up != nil {
+		s.last = up
+		if up.Err == nil && up.Result.NyquistRate > 0 {
+			s.cleanStreak++
+			if s.cleanStreak >= e.cfg.RetuneCleanStreak {
+				s.lastNyquist = up.Result.NyquistRate
+				if e.store != nil {
+					e.store.SetNyquist(id, up.Result.NyquistRate)
+				}
+			}
+		} else {
+			s.cleanStreak = 0
+		}
+	}
+}
+
+// probe accumulates pre-lock points and locks the interval once enough
+// gaps are seen. Called with s.mu held.
+func (s *ingestSeries) probe(e *IngestEstimator, id string, p series.Point) {
+	s.pending = append(s.pending, p)
+	s.lastTime, s.haveLast = p.Time, true
+	gaps := make([]time.Duration, 0, len(s.pending)-1)
+	for i := 1; i < len(s.pending); i++ {
+		if g := s.pending[i].Time.Sub(s.pending[i-1].Time); g > 0 {
+			gaps = append(gaps, g)
+		}
+	}
+	if len(gaps) < e.cfg.ProbeGaps {
+		// Constant or backwards timestamps never lock; cap the probe
+		// buffer so a misbehaving client cannot grow it unboundedly.
+		if max := 4 * (e.cfg.ProbeGaps + 1); len(s.pending) > max {
+			s.pending = append(s.pending[:0], s.pending[len(s.pending)-max:]...)
+		}
+		return
+	}
+	sort.Slice(gaps, func(a, b int) bool { return gaps[a] < gaps[b] })
+	interval := gaps[len(gaps)/2]
+	est, err := core.NewStreamEstimator(core.StreamConfig{
+		Interval:      interval,
+		WindowSamples: e.cfg.WindowSamples,
+		EmitEvery:     e.cfg.EmitEvery,
+		Headroom:      e.cfg.Headroom,
+		Start:         s.pending[0].Time,
+	})
+	if err != nil {
+		// Unlockable configuration (e.g. sub-minimum window from the
+		// caller); stay in probe mode rather than fail ingest.
+		return
+	}
+	s.est = est
+	s.interval = interval
+	for _, q := range s.pending {
+		if up := s.est.Push(q.Value); up != nil {
+			s.last = up
+		}
+	}
+	s.pending = nil
+}
+
+// reprobe drops the locked grid after sustained gap drift and restarts
+// the probe from the current point. Called with s.mu held.
+func (s *ingestSeries) reprobe(p series.Point) {
+	s.est = nil
+	s.interval = 0
+	s.drift = 0
+	s.cleanStreak = 0
+	s.last = nil
+	s.reprobes++
+	s.pending = append(s.pending[:0], p)
+	s.lastTime, s.haveLast = p.Time, true
+}
+
+// Advice returns the live guidance for id, or ok=false when the series
+// was never observed.
+func (e *IngestEstimator) Advice(id string) (IngestAdvice, bool) {
+	e.mu.RLock()
+	s := e.series[id]
+	e.mu.RUnlock()
+	if s == nil {
+		return IngestAdvice{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	adv := IngestAdvice{
+		Series:      id,
+		Samples:     s.samples,
+		Interval:    s.interval,
+		NyquistRate: s.lastNyquist,
+		Reprobes:    s.reprobes,
+	}
+	if s.est != nil {
+		adv.Warm = s.est.Warm()
+	}
+	if up := s.last; up != nil {
+		adv.Aliased = up.Err != nil
+		adv.AliasStreak = up.AliasStreak
+		adv.SuggestedInterval = up.SuggestedInterval
+		adv.UpdatedAt = up.Time
+		if up.Result != nil {
+			adv.EnergyCaptured = up.Result.EnergyCaptured
+		}
+	}
+	return adv, true
+}
+
+// Series returns the observed series ids, sorted.
+func (e *IngestEstimator) Series() []string {
+	e.mu.RLock()
+	out := make([]string, 0, len(e.series))
+	for id := range e.series {
+		out = append(out, id)
+	}
+	e.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of observed series.
+func (e *IngestEstimator) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.series)
+}

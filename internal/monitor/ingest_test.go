@@ -1,0 +1,168 @@
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/series"
+	"repro/internal/tsdb"
+)
+
+var ingestStart = time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+
+// twoTone is a band-limited test signal whose 99%-energy cut-off sits at
+// its top component, so the expected Nyquist estimate is 2·f2.
+func twoTone(f1, f2, t float64) float64 {
+	return math.Sin(2*math.Pi*f1*t) + 0.8*math.Sin(2*math.Pi*f2*t+1)
+}
+
+// TestIngestEstimatorClosesLoop pins the serving-path contract: pushing
+// a clean, regularly polled series locks the interval, produces a warm
+// estimate near ground truth, suggests the sweet-spot interval, and
+// retunes the store's retention via SetNyquist.
+func TestIngestEstimatorClosesLoop(t *testing.T) {
+	store := NewTieredStore(tsdb.Config{Retention: tsdb.RetentionConfig{RawCapacity: 128, Tiers: 2}})
+	e := NewIngestEstimator(store, IngestConfig{WindowSamples: 256, EmitEvery: 8})
+	const (
+		id       = "ext/router7/octets"
+		f2       = 16.0 / 256 // on-bin top component at 1 Hz polls
+		f1       = f2 / 4
+		interval = time.Second
+	)
+	wantNyquist := 2 * f2
+	for i := 0; i < 600; i++ {
+		ts := ingestStart.Add(time.Duration(i) * interval)
+		e.Observe(id, series.Point{Time: ts, Value: twoTone(f1, f2, float64(i))})
+	}
+	adv, ok := e.Advice(id)
+	if !ok {
+		t.Fatal("no advice for an observed series")
+	}
+	if adv.Interval != interval {
+		t.Fatalf("locked interval %v, want %v", adv.Interval, interval)
+	}
+	if !adv.Warm {
+		t.Fatalf("not warm after 600 samples with a 256 window: %+v", adv)
+	}
+	if adv.Aliased {
+		t.Fatalf("clean signal flagged aliased: %+v", adv)
+	}
+	if rel := math.Abs(adv.NyquistRate-wantNyquist) / wantNyquist; rel > 0.2 {
+		t.Fatalf("estimate %.5f Hz, want %.5f Hz ±20%% (off by %.0f%%)", adv.NyquistRate, wantNyquist, 100*rel)
+	}
+	wantSuggest := time.Duration(float64(time.Second) / (1.2 * adv.NyquistRate))
+	if d := adv.SuggestedInterval - wantSuggest; d < -time.Millisecond || d > time.Millisecond {
+		t.Fatalf("suggested interval %v, want %v", adv.SuggestedInterval, wantSuggest)
+	}
+	// The estimate→retain loop must have reached the store.
+	if got := store.NyquistRate(id); math.Abs(got-adv.NyquistRate) > 1e-9 {
+		t.Fatalf("store retention rate %.5f, want the clean estimate %.5f", got, adv.NyquistRate)
+	}
+	if adv.Samples != 600 {
+		t.Fatalf("samples %d, want 600", adv.Samples)
+	}
+}
+
+// TestIngestEstimatorAliasedNeverRetunes pins the §4.2 asymmetry across
+// the wire: an undersampled stream — energy at the very top of the
+// measurable band, the aliasing signature — raises the alias streak and
+// halves the suggested interval, but never touches retention.
+func TestIngestEstimatorAliasedNeverRetunes(t *testing.T) {
+	store := NewTieredStore(tsdb.Config{Retention: tsdb.RetentionConfig{RawCapacity: 128, Tiers: 2}})
+	e := NewIngestEstimator(store, IngestConfig{WindowSamples: 64, EmitEvery: 4})
+	const id = "ext/undersampled"
+	for i := 0; i < 300; i++ {
+		ts := ingestStart.Add(time.Duration(i) * time.Second)
+		// Top tone at bin 31 of 64 (0.484 Hz against 1 Hz polls): past
+		// the estimator's aliased guard in every window.
+		e.Observe(id, series.Point{Time: ts, Value: twoTone(0.1, 31.0/64, float64(i))})
+	}
+	adv, ok := e.Advice(id)
+	if !ok {
+		t.Fatal("no advice")
+	}
+	if !adv.Aliased || adv.AliasStreak < 2 {
+		t.Fatalf("white stream not flagged aliased with a streak: %+v", adv)
+	}
+	if adv.SuggestedInterval != time.Second/2 {
+		t.Fatalf("aliased suggestion %v, want half the poll interval", adv.SuggestedInterval)
+	}
+	if got := store.NyquistRate(id); got != 0 {
+		t.Fatalf("aliased stream retuned retention to %.5f Hz — it must not", got)
+	}
+}
+
+// TestIngestEstimatorLocksJitteredGrid: external pollers jitter; the
+// median-gap probe must still lock the nominal interval.
+func TestIngestEstimatorLocksJitteredGrid(t *testing.T) {
+	e := NewIngestEstimator(nil, IngestConfig{WindowSamples: 64})
+	const id = "ext/jitter"
+	rng := rand.New(rand.NewSource(3))
+	ts := ingestStart
+	for i := 0; i < 50; i++ {
+		e.Observe(id, series.Point{Time: ts, Value: float64(i)})
+		ts = ts.Add(10*time.Second + time.Duration(rng.Intn(41)-20)*time.Millisecond)
+	}
+	adv, _ := e.Advice(id)
+	if adv.Interval < 9*time.Second || adv.Interval > 11*time.Second {
+		t.Fatalf("locked %v from a jittered 10 s grid", adv.Interval)
+	}
+}
+
+// TestIngestEstimatorReprobesOnDrift: a client redeploy that changes the
+// poll rate must re-lock the interval instead of estimating on a wrong
+// frequency axis.
+func TestIngestEstimatorReprobesOnDrift(t *testing.T) {
+	e := NewIngestEstimator(nil, IngestConfig{WindowSamples: 64, ProbeGaps: 4})
+	const id = "ext/redeployed"
+	ts := ingestStart
+	for i := 0; i < 40; i++ {
+		e.Observe(id, series.Point{Time: ts, Value: float64(i)})
+		ts = ts.Add(time.Second)
+	}
+	if adv, _ := e.Advice(id); adv.Interval != time.Second {
+		t.Fatalf("initial lock %v, want 1s", adv.Interval)
+	}
+	for i := 0; i < 40; i++ {
+		e.Observe(id, series.Point{Time: ts, Value: float64(i)})
+		ts = ts.Add(10 * time.Second)
+	}
+	adv, _ := e.Advice(id)
+	if adv.Reprobes == 0 {
+		t.Fatalf("no reprobe after a 10x gap change: %+v", adv)
+	}
+	if adv.Interval != 10*time.Second {
+		t.Fatalf("re-locked %v, want 10s", adv.Interval)
+	}
+}
+
+// TestIngestEstimatorConcurrent hammers distinct and shared series from
+// many goroutines — the serving ingest pattern — for the race detector.
+func TestIngestEstimatorConcurrent(t *testing.T) {
+	store := NewTieredStore(tsdb.Config{Shards: 4, Retention: tsdb.RetentionConfig{RawCapacity: 64, Tiers: 2}})
+	e := NewIngestEstimator(store, IngestConfig{WindowSamples: 64, EmitEvery: 4})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := fmt.Sprintf("ext/dev%d", g%4) // pairs of goroutines share a series
+			for i := 0; i < 500; i++ {
+				ts := ingestStart.Add(time.Duration(i) * time.Second)
+				e.Observe(id, series.Point{Time: ts, Value: twoTone(0.01, 0.05, float64(i))})
+				if i%100 == 0 {
+					_, _ = e.Advice(id)
+					_ = e.Series()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if e.Len() != 4 {
+		t.Fatalf("observed %d series, want 4", e.Len())
+	}
+}

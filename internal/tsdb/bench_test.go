@@ -127,3 +127,65 @@ func BenchmarkQueryRange(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkBlockEncode measures the codec's append path on the diurnal
+// workload; bytes/point is reported as a custom metric (the figure
+// recorded in BENCH_ingest.json).
+func BenchmarkBlockEncode(b *testing.B) {
+	pts := diurnalWorkload(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var size, n int
+	for i := 0; i < b.N; i++ {
+		blk, err := EncodeBlock(pts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		size, n = blk.Size(), blk.Len()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(size)/float64(n), "bytes/point")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(pts)), "ns/point")
+}
+
+// BenchmarkBlockDecode measures the query-path decode cost.
+func BenchmarkBlockDecode(b *testing.B) {
+	blk, err := EncodeBlock(diurnalWorkload(4096))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := blk.Iter()
+		n := 0
+		for it.Next() {
+			n++
+		}
+		if n != blk.Len() {
+			b.Fatalf("decoded %d of %d", n, blk.Len())
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*blk.Len()), "ns/point")
+}
+
+// BenchmarkCompressedAppend compares the engine's append hot path with
+// compression on, against BenchmarkStoreAppendParallel's uncompressed
+// figures.
+func BenchmarkCompressedAppend(b *testing.B) {
+	db := New(Config{Shards: 16, Retention: RetentionConfig{
+		RawCapacity: 4096, TierCapacity: 1024, Tiers: 2, CompressBlock: 128,
+	}})
+	start := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := "bench/series"
+		i := 0
+		for pb.Next() {
+			db.Append(id, series.Point{Time: start.Add(time.Duration(i) * time.Second), Value: float64(i % 97)})
+			i++
+		}
+	})
+}

@@ -1,0 +1,291 @@
+package tsdb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/series"
+)
+
+// checkRoundTrip encodes pts and asserts the decode is bit-exact: every
+// timestamp the same instant, every value the identical float64 bit
+// pattern (NaN payloads included).
+func checkRoundTrip(t *testing.T, pts []series.Point) Block {
+	t.Helper()
+	blk, err := EncodeBlock(pts)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if blk.Len() != len(pts) {
+		t.Fatalf("block len %d, want %d", blk.Len(), len(pts))
+	}
+	got, err := blk.Points(nil)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("decoded %d points, want %d", len(got), len(pts))
+	}
+	for i := range pts {
+		if !got[i].Time.Equal(pts[i].Time) {
+			t.Fatalf("point %d: time %v, want %v", i, got[i].Time, pts[i].Time)
+		}
+		if math.Float64bits(got[i].Value) != math.Float64bits(pts[i].Value) {
+			t.Fatalf("point %d: value bits %x, want %x (%v vs %v)",
+				i, math.Float64bits(got[i].Value), math.Float64bits(pts[i].Value),
+				got[i].Value, pts[i].Value)
+		}
+	}
+	if len(pts) > 0 {
+		if !blk.First().Equal(pts[0].Time) || !blk.Last().Equal(pts[len(pts)-1].Time) {
+			t.Fatalf("block bounds [%v, %v], want [%v, %v]",
+				blk.First(), blk.Last(), pts[0].Time, pts[len(pts)-1].Time)
+		}
+	}
+	return blk
+}
+
+var blockEpoch = time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+
+// TestBlockRoundTripPatterns drives the codec through the timestamp and
+// value regimes a serving store actually sees, plus the adversarial
+// ones: constant timestamps (duplicate polls), heavy jitter, huge grid
+// shifts, constant values, NaN/Inf/denormal values, and single-point
+// blocks.
+func TestBlockRoundTripPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mk := func(n int, tAt func(i int) time.Time, vAt func(i int) float64) []series.Point {
+		pts := make([]series.Point, n)
+		for i := range pts {
+			pts[i] = series.Point{Time: tAt(i), Value: vAt(i)}
+		}
+		return pts
+	}
+	regular := func(step time.Duration) func(int) time.Time {
+		return func(i int) time.Time { return blockEpoch.Add(time.Duration(i) * step) }
+	}
+	cases := map[string][]series.Point{
+		"empty":        nil,
+		"single":       mk(1, regular(time.Second), func(int) float64 { return 42.5 }),
+		"regular-sine": mk(512, regular(30*time.Second), func(i int) float64 { return math.Sin(float64(i) / 40) }),
+		"constant-timestamps": mk(64, func(int) time.Time { return blockEpoch },
+			func(i int) float64 { return float64(i) }),
+		"constant-values": mk(256, regular(time.Second), func(int) float64 { return 99.25 }),
+		"ms-jitter": mk(256, func(i int) time.Time {
+			return blockEpoch.Add(time.Duration(i)*time.Second + time.Duration(rng.Intn(2_000_001)-1_000_000)*time.Nanosecond)
+		}, func(i int) float64 { return float64(i % 7) }),
+		"grid-shifts": mk(128, func(i int) time.Time {
+			// Alternating 1 s and 1 h deltas: every step is a worst-case
+			// delta-of-delta.
+			return blockEpoch.Add(time.Duration(i/2)*time.Hour + time.Duration(i%2)*time.Second)
+		}, func(i int) float64 { return float64(i) * 1e17 }),
+		"special-values": mk(10, regular(time.Minute), func(i int) float64 {
+			return []float64{0, math.Copysign(0, -1), math.NaN(), math.Inf(1), math.Inf(-1),
+				math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64, 1e-310, -1e-310}[i]
+		}),
+		"extreme-times": {
+			{Time: time.Unix(0, math.MinInt64), Value: 1},
+			{Time: blockEpoch, Value: 2},
+			{Time: time.Unix(0, math.MaxInt64), Value: 3},
+		},
+	}
+	for name, pts := range cases {
+		t.Run(name, func(t *testing.T) { checkRoundTrip(t, pts) })
+	}
+}
+
+// TestBlockRoundTripRandom is the property test: random walks over
+// random grids with random jitter and value quantization, all bit-exact.
+func TestBlockRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(300)
+		step := time.Duration(1+rng.Intn(3600)) * time.Second / 4
+		jitter := int64(0)
+		if rng.Intn(2) == 0 {
+			jitter = int64(step) / int64(1+rng.Intn(10))
+		}
+		quant := math.Pow(2, float64(rng.Intn(20)-10))
+		if rng.Intn(3) == 0 {
+			quant = 0 // full-precision walk
+		}
+		pts := make([]series.Point, n)
+		now := blockEpoch.Add(time.Duration(rng.Int63n(int64(24 * time.Hour))))
+		v := rng.NormFloat64() * 100
+		for i := range pts {
+			v += rng.NormFloat64()
+			val := v
+			if quant > 0 {
+				val = math.Round(v/quant) * quant
+			}
+			pts[i] = series.Point{Time: now, Value: val}
+			d := int64(step)
+			if jitter > 0 {
+				d += rng.Int63n(2*jitter+1) - jitter
+				if d < 0 {
+					d = 0
+				}
+			}
+			now = now.Add(time.Duration(d))
+		}
+		checkRoundTrip(t, pts)
+	}
+}
+
+// TestBlockRejectsOutOfOrder pins the ordering contract: a decreasing
+// timestamp is refused with ErrOutOfOrder, leaves the block intact, and
+// equal timestamps (duplicate polls) are accepted.
+func TestBlockRejectsOutOfOrder(t *testing.T) {
+	b := NewBlockBuilder()
+	if err := b.Append(blockEpoch, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append(blockEpoch.Add(time.Second), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append(blockEpoch, 3); err != ErrOutOfOrder {
+		t.Fatalf("out-of-order append: got %v, want ErrOutOfOrder", err)
+	}
+	if err := b.Append(blockEpoch.Add(time.Second), 4); err != nil {
+		t.Fatalf("equal-timestamp append after rejection: %v", err)
+	}
+	got, err := b.Finish().Points(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2].Value != 4 {
+		t.Fatalf("rejected append leaked into the block: %+v", got)
+	}
+}
+
+// TestBlockRejectsTimeRange pins the UnixNano-representability contract.
+func TestBlockRejectsTimeRange(t *testing.T) {
+	b := NewBlockBuilder()
+	tooOld := time.Date(1600, 1, 1, 0, 0, 0, 0, time.UTC)
+	tooNew := time.Date(2400, 1, 1, 0, 0, 0, 0, time.UTC)
+	if err := b.Append(tooOld, 1); err != ErrTimeRange {
+		t.Fatalf("pre-1678 append: got %v, want ErrTimeRange", err)
+	}
+	if err := b.Append(tooNew, 1); err != ErrTimeRange {
+		t.Fatalf("post-2262 append: got %v, want ErrTimeRange", err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("rejected appends changed the block: len %d", b.Len())
+	}
+}
+
+// TestBlockBytesPerPointDiurnal is the acceptance bar: a realistic
+// diurnal workload — a quantized daily-rhythm gauge polled on a regular
+// grid — compresses to at most 2 bytes per point (a []Point slice costs
+// 32). The measured figure is recorded in BENCH_ingest.json.
+func TestBlockBytesPerPointDiurnal(t *testing.T) {
+	pts := diurnalWorkload(4096)
+	blk := checkRoundTrip(t, pts)
+	bpp := float64(blk.Size()) / float64(blk.Len())
+	t.Logf("diurnal workload: %d points, %d bytes, %.3f bytes/point (%.1fx vs 32-byte Points)",
+		blk.Len(), blk.Size(), bpp, 32/bpp)
+	if bpp > 2.0 {
+		t.Fatalf("compressed diurnal workload costs %.3f bytes/point, want <= 2", bpp)
+	}
+}
+
+// diurnalWorkload builds the canonical serving-path test signal: a
+// diurnal-harmonic gauge (fundamental plus two harmonics) polled every
+// 30 s and quantized to the sensor step, the regime the paper treats as
+// the telemetry baseline.
+func diurnalWorkload(n int) []series.Point {
+	const (
+		f0    = 1.0 / 86400 // one cycle per day
+		step  = 30 * time.Second
+		quant = 1.0 / 64 // sensor quantum (power of two keeps mantissas short)
+	)
+	pts := make([]series.Point, n)
+	for i := range pts {
+		ts := float64(i) * step.Seconds()
+		v := 40 + 8*math.Sin(2*math.Pi*f0*ts) + 3*math.Sin(2*math.Pi*3*f0*ts+1) +
+			1.5*math.Sin(2*math.Pi*8*f0*ts+2)
+		pts[i] = series.Point{
+			Time:  blockEpoch.Add(time.Duration(i) * step),
+			Value: math.Round(v/quant) * quant,
+		}
+	}
+	return pts
+}
+
+// TestBucketBlockRoundTrip covers the summary-tier codec: regular and
+// retuned (width-changing) bucket runs round-trip exactly.
+func TestBucketBlockRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(100)
+		width := time.Duration(1+rng.Intn(600)) * time.Second
+		start := blockEpoch.Add(time.Duration(rng.Int63n(int64(time.Hour))))
+		in := make([]bucket, n)
+		for i := range in {
+			if rng.Intn(20) == 0 {
+				width = time.Duration(1+rng.Intn(600)) * time.Second // retune
+			}
+			lo := rng.NormFloat64() * 10
+			in[i] = bucket{
+				start: start,
+				end:   start.Add(width),
+				min:   lo,
+				max:   lo + rng.Float64()*5,
+				sum:   lo * float64(1+rng.Intn(10)),
+				count: int64(1 + rng.Intn(32)),
+			}
+			start = start.Add(width)
+		}
+		bb := newBucketBlockBuilder()
+		for i, bk := range in {
+			if err := bb.append(bk); err != nil {
+				t.Fatalf("trial %d: append %d: %v", trial, i, err)
+			}
+		}
+		sealed := bb.finish()
+		var got []bucket
+		if err := sealed.each(func(bk bucket) { got = append(got, bk) }); err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if len(got) != n {
+			t.Fatalf("trial %d: decoded %d buckets, want %d", trial, len(got), n)
+		}
+		for i := range in {
+			a, b := in[i], got[i]
+			if !a.start.Equal(b.start) || !a.end.Equal(b.end) ||
+				math.Float64bits(a.min) != math.Float64bits(b.min) ||
+				math.Float64bits(a.max) != math.Float64bits(b.max) ||
+				math.Float64bits(a.sum) != math.Float64bits(b.sum) ||
+				a.count != b.count {
+				t.Fatalf("trial %d: bucket %d mismatch:\n got %+v\nwant %+v", trial, i, b, a)
+			}
+		}
+	}
+}
+
+// TestBlockIterConcurrent pins the share-safety contract Block promises:
+// many goroutines iterating one block see identical, uncorrupted data.
+func TestBlockIterConcurrent(t *testing.T) {
+	pts := diurnalWorkload(1024)
+	blk, err := EncodeBlock(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			got, err := blk.Points(nil)
+			if err == nil && len(got) != len(pts) {
+				err = ErrCorruptBlock
+			}
+			done <- err
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

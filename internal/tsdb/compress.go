@@ -1,0 +1,380 @@
+// Compressed storage backends for memSeries: when RetentionConfig
+// selects CompressBlock > 0, the raw ring and the summary-tier rings
+// trade their []Point / []bucket slices for sealed Gorilla blocks plus a
+// small uncompressed active run. Eviction becomes block-granular — a
+// full store sheds its oldest sealed block into the next tier — so the
+// retained size breathes between capacity−blockLen and capacity instead
+// of sitting exactly at capacity; what a serving store buys for that is
+// roughly an order of magnitude more retained points per byte.
+
+package tsdb
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/series"
+)
+
+// pointSeg is one sealed segment of the compressed raw store: normally a
+// Gorilla block, or (only when the codec refused the data — e.g. a
+// timestamp outside the int64-nanosecond range) a verbatim fallback
+// slice, so compression can never lose or reject a write.
+type pointSeg struct {
+	blk Block
+	pts []series.Point // fallback; nil when blk is used
+	// firstT/lastT bound the segment (fallback mode; blk carries its own).
+	firstT, lastT time.Time
+}
+
+func (s *pointSeg) size() int {
+	if s.pts != nil {
+		return len(s.pts)
+	}
+	return s.blk.Len()
+}
+
+func (s *pointSeg) first() time.Time {
+	if s.pts != nil {
+		return s.firstT
+	}
+	return s.blk.First()
+}
+
+func (s *pointSeg) last() time.Time {
+	if s.pts != nil {
+		return s.lastT
+	}
+	return s.blk.Last()
+}
+
+// each emits the segment's points in time order. Decode state is local,
+// so concurrent readers may share a segment.
+func (s *pointSeg) each(emit func(series.Point)) {
+	if s.pts != nil {
+		for _, p := range s.pts {
+			emit(p)
+		}
+		return
+	}
+	it := s.blk.Iter()
+	for it.Next() {
+		emit(it.Point())
+	}
+}
+
+// compPoints is the compressed raw store: a FIFO of sealed segments plus
+// an uncompressed active run of at most blockLen points.
+type compPoints struct {
+	blockLen int
+	capacity int // max total points; 0 = unbounded (never evicts)
+	segs     []pointSeg
+	active   []series.Point
+	n        int
+	evbuf    []series.Point // reusable eviction decode buffer
+}
+
+func newCompPoints(blockLen, capacity int) *compPoints {
+	return &compPoints{blockLen: blockLen, capacity: capacity}
+}
+
+func (c *compPoints) size() int { return c.n }
+
+// push appends one point. When the store exceeds its capacity the oldest
+// sealed segment is evicted and returned, oldest point first; the slice
+// is reused across calls and must be consumed before the next push.
+func (c *compPoints) push(p series.Point) []series.Point {
+	c.active = append(c.active, p)
+	c.n++
+	if len(c.active) >= c.blockLen {
+		c.seal()
+	}
+	if c.capacity > 0 && c.n > c.capacity && len(c.segs) > 0 {
+		return c.evictOldest()
+	}
+	return nil
+}
+
+// seal compresses the active run into a segment. Appends may arrive out
+// of time order (the Append contract tolerates them); storage order
+// inside a segment is by time, which preserves the point multiset — the
+// query path orders across bands anyway.
+func (c *compPoints) seal() {
+	if len(c.active) == 0 {
+		return
+	}
+	pts := c.active
+	if !sort.SliceIsSorted(pts, func(a, b int) bool { return pts[a].Time.Before(pts[b].Time) }) {
+		sort.SliceStable(pts, func(a, b int) bool { return pts[a].Time.Before(pts[b].Time) })
+	}
+	seg := pointSeg{}
+	if blk, err := EncodeBlock(pts); err == nil {
+		seg.blk = blk
+	} else {
+		seg.pts = append([]series.Point(nil), pts...)
+		seg.firstT = pts[0].Time
+		seg.lastT = pts[len(pts)-1].Time
+	}
+	c.segs = append(c.segs, seg)
+	c.active = c.active[:0]
+}
+
+// evictOldest decodes and removes the oldest sealed segment, returning
+// its points (reusable buffer).
+func (c *compPoints) evictOldest() []series.Point {
+	seg := c.segs[0]
+	copy(c.segs, c.segs[1:])
+	c.segs[len(c.segs)-1] = pointSeg{}
+	c.segs = c.segs[:len(c.segs)-1]
+	c.evbuf = c.evbuf[:0]
+	seg.each(func(p series.Point) { c.evbuf = append(c.evbuf, p) })
+	c.n -= seg.size()
+	return c.evbuf
+}
+
+// bounds returns the oldest and newest retained timestamps.
+func (c *compPoints) bounds() (oldest, newest time.Time, ok bool) {
+	for i := range c.segs {
+		s := &c.segs[i]
+		if !ok || s.first().Before(oldest) {
+			oldest = s.first()
+		}
+		if s.last().After(newest) {
+			newest = s.last()
+		}
+		ok = true
+	}
+	for _, p := range c.active {
+		if !ok || p.Time.Before(oldest) {
+			oldest = p.Time
+		}
+		if p.Time.After(newest) {
+			newest = p.Time
+		}
+		ok = true
+	}
+	return oldest, newest, ok
+}
+
+// each emits every retained point whose segment can overlap [from, to)
+// (zero bounds are unbounded). Sealed segments fully outside the window
+// are skipped without decoding; the caller still filters per point.
+func (c *compPoints) each(from, to time.Time, emit func(series.Point)) {
+	for i := range c.segs {
+		s := &c.segs[i]
+		if !to.IsZero() && !s.first().Before(to) {
+			continue
+		}
+		if !from.IsZero() && s.last().Before(from) {
+			continue
+		}
+		s.each(emit)
+	}
+	for _, p := range c.active {
+		emit(p)
+	}
+}
+
+// compressedFootprint reports the sealed compressed payload: bytes and
+// the points they hold (fallback segments count as uncompressed).
+func (c *compPoints) compressedFootprint() (bytes, points int64) {
+	for i := range c.segs {
+		if c.segs[i].pts == nil {
+			bytes += int64(c.segs[i].blk.Size())
+			points += int64(c.segs[i].blk.Len())
+		}
+	}
+	return bytes, points
+}
+
+// bucketSeg is one sealed segment of a compressed tier, mirroring
+// pointSeg: a bucket block, or a verbatim fallback slice.
+type bucketSeg struct {
+	blk bucketBlock
+	bks []bucket // fallback; nil when blk is used
+	// firstT/lastEndT bound the segment (fallback mode).
+	firstT, lastEndT time.Time
+}
+
+func (s *bucketSeg) size() int {
+	if s.bks != nil {
+		return len(s.bks)
+	}
+	return s.blk.n
+}
+
+func (s *bucketSeg) firstStart() time.Time {
+	if s.bks != nil {
+		return s.firstT
+	}
+	return time.Unix(0, s.blk.firstNano)
+}
+
+func (s *bucketSeg) lastEnd() time.Time {
+	if s.bks != nil {
+		return s.lastEndT
+	}
+	return time.Unix(0, s.blk.lastEnd)
+}
+
+// samples is the sum of the segment's bucket counts, available without
+// decoding.
+func (s *bucketSeg) samples() int64 {
+	if s.bks != nil {
+		var n int64
+		for _, b := range s.bks {
+			n += b.count
+		}
+		return n
+	}
+	return s.blk.samples
+}
+
+func (s *bucketSeg) each(emit func(bucket)) {
+	if s.bks != nil {
+		for _, b := range s.bks {
+			emit(b)
+		}
+		return
+	}
+	_ = s.blk.each(emit) // decode errors impossible for self-encoded blocks
+}
+
+// compBuckets is the compressed finalized-bucket store of one tier.
+type compBuckets struct {
+	blockLen int
+	capacity int // max finalized buckets; 0 = unbounded
+	segs     []bucketSeg
+	active   []bucket
+	n        int
+	builder  *bucketBlockBuilder
+	evbuf    []bucket
+}
+
+func newCompBuckets(blockLen, capacity int) *compBuckets {
+	return &compBuckets{blockLen: blockLen, capacity: capacity}
+}
+
+func (c *compBuckets) size() int { return c.n }
+
+// push appends one finalized bucket, returning evicted buckets (oldest
+// first, reusable buffer) once capacity is exceeded.
+func (c *compBuckets) push(b bucket) []bucket {
+	c.active = append(c.active, b)
+	c.n++
+	if len(c.active) >= c.blockLen {
+		c.seal()
+	}
+	if c.capacity > 0 && c.n > c.capacity && len(c.segs) > 0 {
+		return c.evictOldest()
+	}
+	return nil
+}
+
+func (c *compBuckets) seal() {
+	if len(c.active) == 0 {
+		return
+	}
+	if c.builder == nil {
+		c.builder = newBucketBlockBuilder()
+	} else {
+		c.builder.reset()
+	}
+	seg := bucketSeg{}
+	ok := true
+	for _, b := range c.active {
+		if err := c.builder.append(b); err != nil {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		seg.blk = c.builder.finish()
+	} else {
+		seg.bks = append([]bucket(nil), c.active...)
+		seg.firstT = c.active[0].start
+		for _, b := range c.active {
+			if b.end.After(seg.lastEndT) {
+				seg.lastEndT = b.end
+			}
+		}
+	}
+	c.segs = append(c.segs, seg)
+	c.active = c.active[:0]
+}
+
+func (c *compBuckets) evictOldest() []bucket {
+	seg := c.segs[0]
+	copy(c.segs, c.segs[1:])
+	c.segs[len(c.segs)-1] = bucketSeg{}
+	c.segs = c.segs[:len(c.segs)-1]
+	c.evbuf = c.evbuf[:0]
+	seg.each(func(b bucket) { c.evbuf = append(c.evbuf, b) })
+	c.n -= seg.size()
+	return c.evbuf
+}
+
+// bounds returns the oldest bucket start and newest coverage end.
+func (c *compBuckets) bounds() (oldest, newestEnd time.Time, ok bool) {
+	for i := range c.segs {
+		s := &c.segs[i]
+		if !ok || s.firstStart().Before(oldest) {
+			oldest = s.firstStart()
+		}
+		if s.lastEnd().After(newestEnd) {
+			newestEnd = s.lastEnd()
+		}
+		ok = true
+	}
+	for _, b := range c.active {
+		if !ok || b.start.Before(oldest) {
+			oldest = b.start
+		}
+		if b.end.After(newestEnd) {
+			newestEnd = b.end
+		}
+		ok = true
+	}
+	return oldest, newestEnd, ok
+}
+
+// each emits finalized buckets in order, skipping sealed segments whose
+// coverage cannot intersect [from, to); zero bounds are unbounded.
+func (c *compBuckets) each(from, to time.Time, emit func(bucket)) {
+	for i := range c.segs {
+		s := &c.segs[i]
+		if !to.IsZero() && !s.firstStart().Before(to) {
+			continue
+		}
+		if !from.IsZero() && !s.lastEnd().After(from) {
+			continue
+		}
+		s.each(emit)
+	}
+	for _, b := range c.active {
+		emit(b)
+	}
+}
+
+// sampleTotal sums every finalized bucket's count without decoding any
+// sealed block — the stats path runs under the shard lock.
+func (c *compBuckets) sampleTotal() int64 {
+	var n int64
+	for i := range c.segs {
+		n += c.segs[i].samples()
+	}
+	for _, b := range c.active {
+		n += b.count
+	}
+	return n
+}
+
+func (c *compBuckets) compressedFootprint() (bytes, buckets int64) {
+	for i := range c.segs {
+		if c.segs[i].bks == nil {
+			bytes += int64(c.segs[i].blk.size())
+			buckets += int64(c.segs[i].blk.n)
+		}
+	}
+	return bytes, buckets
+}

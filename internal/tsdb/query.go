@@ -78,9 +78,7 @@ func (m *memSeries) query(id string, from, to time.Time, maxPoints int) *QueryRe
 				Time: b.start, Min: b.min, Max: b.max, Mean: b.mean(), Count: b.count,
 			})
 		}
-		for i := 0; i < t.ring.size(); i++ {
-			emit(t.ring.at(i))
-		}
+		t.each(from, to, emit)
 		if t.curSet {
 			emit(t.cur)
 		}
@@ -88,17 +86,25 @@ func (m *memSeries) query(id string, from, to time.Time, maxPoints int) *QueryRe
 			res.Tiers = append(res.Tiers, TierSlice{Tier: k + 1, Width: t.width, Points: n})
 		}
 	}
-	// Same band pruning for the raw ring: a window entirely outside the
-	// retained raw span (deep-history queries) skips the scan.
-	if n := m.raw.size(); n > 0 &&
-		(to.IsZero() || m.raw.at(0).Time.Before(to)) &&
-		(from.IsZero() || !m.raw.at(n-1).Time.Before(from)) {
+	// Same band pruning for the raw store: a window entirely outside the
+	// retained raw span (deep-history queries) skips the scan. In
+	// compressed mode, sealed blocks outside the window are additionally
+	// skipped without decoding.
+	if oldest, newest, ok := m.rawBounds(); ok &&
+		(to.IsZero() || oldest.Before(to)) &&
+		(from.IsZero() || !newest.Before(from)) {
 		before := len(res.Points)
-		for i := 0; i < n; i++ {
-			p := m.raw.at(i)
+		keep := func(p series.Point) {
 			if (from.IsZero() || !p.Time.Before(from)) && (to.IsZero() || p.Time.Before(to)) {
 				res.Points = append(res.Points, p)
 			}
+		}
+		if m.raw != nil {
+			for i := 0; i < m.raw.size(); i++ {
+				keep(m.raw.at(i))
+			}
+		} else {
+			m.craw.each(from, to, keep)
 		}
 		if n := len(res.Points) - before; n > 0 {
 			res.Tiers = append(res.Tiers, TierSlice{Tier: 0, Points: n})

@@ -101,13 +101,84 @@ func (b *bucket) merge(o bucket) {
 	b.count += o.count
 }
 
-// tier is one downsampled retention level: a ring of finalized buckets
-// plus the in-progress bucket accumulating the newest interval.
+// tier is one downsampled retention level: finalized buckets (an
+// uncompressed ring or, under RetentionConfig.CompressBlock, sealed
+// compressed bucket blocks) plus the in-progress bucket accumulating the
+// newest interval. Exactly one of ring and cb is non-nil.
 type tier struct {
 	width  time.Duration
 	ring   *ring[bucket]
+	cb     *compBuckets
 	cur    bucket
 	curSet bool
+	evb    [1]bucket // reusable eviction buffer for ring mode
+}
+
+func newTier(width time.Duration, rc *RetentionConfig) *tier {
+	t := &tier{width: width}
+	if rc.CompressBlock > 0 {
+		t.cb = newCompBuckets(bucketBlockLen(rc), rc.TierCapacity)
+	} else {
+		t.ring = newRing[bucket](rc.TierCapacity)
+	}
+	return t
+}
+
+// bucketBlockLen bounds a compressed tier's block length by its
+// capacity so eviction (one sealed block at a time) stays possible.
+func bucketBlockLen(rc *RetentionConfig) int {
+	bl := rc.CompressBlock
+	if rc.TierCapacity > 0 && bl > rc.TierCapacity {
+		bl = rc.TierCapacity
+	}
+	return bl
+}
+
+// push adds one finalized bucket, returning the evicted oldest buckets —
+// at most one in ring mode, a whole sealed block in compressed mode. The
+// returned slice is reused; consume it before the next push.
+func (t *tier) push(b bucket) []bucket {
+	if t.ring != nil {
+		if ev, wasEvicted := t.ring.push(b); wasEvicted {
+			t.evb[0] = ev
+			return t.evb[:1]
+		}
+		return nil
+	}
+	return t.cb.push(b)
+}
+
+// size returns the number of finalized buckets (excluding cur).
+func (t *tier) size() int {
+	if t.ring != nil {
+		return t.ring.size()
+	}
+	return t.cb.size()
+}
+
+// each emits the finalized buckets in order. In compressed mode, sealed
+// blocks whose coverage cannot intersect [from, to) are skipped without
+// decoding; callers still filter per bucket (zero bounds walk all).
+func (t *tier) each(from, to time.Time, emit func(bucket)) {
+	if t.ring != nil {
+		for i := 0; i < t.ring.size(); i++ {
+			emit(t.ring.at(i))
+		}
+		return
+	}
+	t.cb.each(from, to, emit)
+}
+
+// bounds returns the finalized buckets' [oldest start, newest coverage
+// end) band.
+func (t *tier) bounds() (oldest, newestEnd time.Time, ok bool) {
+	if t.ring != nil {
+		if t.ring.size() == 0 {
+			return oldest, newestEnd, false
+		}
+		return t.ring.at(0).start, t.ring.at(t.ring.size() - 1).end, true
+	}
+	return t.cb.bounds()
 }
 
 // overlaps reports whether the tier's retained band [oldest bucket
@@ -115,27 +186,27 @@ type tier struct {
 // that keeps recent-window queries from walking cold tiers. Zero bounds
 // are unbounded.
 func (t *tier) overlaps(from, to time.Time) bool {
-	var oldest, newestEnd time.Time
-	switch {
-	case t.ring.size() > 0:
-		oldest = t.ring.at(0).start
-		newestEnd = t.ring.at(t.ring.size() - 1).end
+	oldest, newestEnd, ok := t.bounds()
+	if ok {
 		if t.curSet && t.cur.end.After(newestEnd) {
 			newestEnd = t.cur.end
 		}
-	case t.curSet:
-		oldest = t.cur.start
-		newestEnd = t.cur.end
-	default:
+	} else if t.curSet {
+		oldest, newestEnd = t.cur.start, t.cur.end
+	} else {
 		return false
 	}
 	return (to.IsZero() || oldest.Before(to)) && (from.IsZero() || newestEnd.After(from))
 }
 
 // memSeries is one series' in-memory state. It carries no lock of its
-// own: the owning shard's mutex guards all access.
+// own: the owning shard's mutex guards all access (query-time block
+// decoding touches no shared state, so readers share the RLock).
 type memSeries struct {
+	// Exactly one of raw (uncompressed ring) and craw (sealed Gorilla
+	// blocks, RetentionConfig.CompressBlock > 0) is non-nil.
 	raw   *ring[series.Point]
+	craw  *compPoints
 	tiers []*tier
 
 	// nyquist is the recorded Nyquist-rate estimate in hertz (0 =
@@ -153,7 +224,33 @@ type memSeries struct {
 }
 
 func newMemSeries(rc *RetentionConfig) *memSeries {
+	if rc.CompressBlock > 0 {
+		bl := rc.CompressBlock
+		if rc.RawCapacity > 0 && bl > rc.RawCapacity {
+			bl = rc.RawCapacity
+		}
+		return &memSeries{craw: newCompPoints(bl, rc.RawCapacity)}
+	}
 	return &memSeries{raw: newRing[series.Point](rc.RawCapacity)}
+}
+
+// rawSize returns the raw store's current point count.
+func (m *memSeries) rawSize() int {
+	if m.raw != nil {
+		return m.raw.size()
+	}
+	return m.craw.size()
+}
+
+// rawBounds returns the raw store's retained time band.
+func (m *memSeries) rawBounds() (oldest, newest time.Time, ok bool) {
+	if m.raw != nil {
+		if n := m.raw.size(); n > 0 {
+			return m.raw.at(0).Time, m.raw.at(n - 1).Time, true
+		}
+		return oldest, newest, false
+	}
+	return m.craw.bounds()
 }
 
 // append ingests one point, cascading the evicted oldest raw point into
@@ -178,7 +275,16 @@ func (m *memSeries) append(p series.Point, rc *RetentionConfig) {
 		m.haveLast = true
 	}
 	m.appends++
-	if ev, wasEvicted := m.raw.push(p); wasEvicted {
+	if m.raw != nil {
+		if ev, wasEvicted := m.raw.push(p); wasEvicted {
+			m.compact(ev, rc)
+		}
+		return
+	}
+	// Compressed mode evicts a whole sealed block at a time; the points
+	// cascade into the tiers oldest first, exactly as the ring's
+	// one-at-a-time evictions would have.
+	for _, ev := range m.craw.push(p) {
 		m.compact(ev, rc)
 	}
 }
@@ -217,7 +323,7 @@ func (m *memSeries) ingest(k int, b bucket) {
 		t.cur.merge(b)
 		return
 	}
-	if ev, wasEvicted := t.ring.push(t.cur); wasEvicted {
+	for _, ev := range t.push(t.cur) {
 		if k+1 < len(m.tiers) {
 			m.ingest(k+1, ev)
 		} else {
@@ -239,7 +345,7 @@ func (m *memSeries) ensureTiers(rc *RetentionConfig) {
 	m.tiers = make([]*tier, rc.Tiers)
 	widths := m.tierWidths(rc)
 	for i := range m.tiers {
-		m.tiers[i] = &tier{width: widths[i], ring: newRing[bucket](rc.TierCapacity)}
+		m.tiers[i] = newTier(widths[i], rc)
 	}
 }
 
@@ -292,17 +398,33 @@ func (m *memSeries) tierWidths(rc *RetentionConfig) []time.Duration {
 
 // retained counts currently held points: raw samples plus finalized and
 // in-progress buckets.
-func (m *memSeries) retained() int { return m.raw.size() + m.buckets() }
+func (m *memSeries) retained() int { return m.rawSize() + m.buckets() }
 
 func (m *memSeries) buckets() int {
 	n := 0
 	for _, t := range m.tiers {
-		n += t.ring.size()
+		n += t.size()
 		if t.curSet {
 			n++
 		}
 	}
 	return n
+}
+
+// compressedFootprint sums the sealed compressed payload across the raw
+// store and all tiers: bytes on the wire and the entries they hold.
+func (m *memSeries) compressedFootprint() (bytes, entries int64) {
+	if m.craw != nil {
+		bytes, entries = m.craw.compressedFootprint()
+	}
+	for _, t := range m.tiers {
+		if t.cb != nil {
+			b, n := t.cb.compressedFootprint()
+			bytes += b
+			entries += n
+		}
+	}
+	return bytes, entries
 }
 
 // stats builds the operator view of this series.
@@ -313,23 +435,33 @@ func (m *memSeries) stats(id string) SeriesStats {
 		Appends:     m.appends,
 		Compacted:   m.compacted,
 		Dropped:     m.dropped,
-		RawPoints:   m.raw.size(),
+		RawPoints:   m.rawSize(),
 	}
-	if n := m.raw.size(); n > 0 {
-		st.RawOldest = m.raw.at(0).Time
-		st.RawNewest = m.raw.at(n - 1).Time
+	st.CompressedBytes, _ = m.compressedFootprint()
+	if oldest, newest, ok := m.rawBounds(); ok {
+		st.RawOldest = oldest
+		st.RawNewest = newest
 	}
 	for _, t := range m.tiers {
-		ts := TierStats{Width: t.width, Buckets: t.ring.size()}
-		for i := 0; i < t.ring.size(); i++ {
-			b := t.ring.at(i)
-			ts.Samples += b.count
-			if ts.Oldest.IsZero() || b.start.Before(ts.Oldest) {
-				ts.Oldest = b.start
+		ts := TierStats{Width: t.width, Buckets: t.size()}
+		if t.cb != nil {
+			// Sealed compressed blocks carry their bounds and sample
+			// totals as metadata; the stats path (which runs under the
+			// shard lock) must never pay a decode for them.
+			ts.Samples = t.cb.sampleTotal()
+			if oldest, newestEnd, ok := t.cb.bounds(); ok {
+				ts.Oldest, ts.Newest = oldest, newestEnd
 			}
-			if b.end.After(ts.Newest) {
-				ts.Newest = b.end
-			}
+		} else {
+			t.each(time.Time{}, time.Time{}, func(b bucket) {
+				ts.Samples += b.count
+				if ts.Oldest.IsZero() || b.start.Before(ts.Oldest) {
+					ts.Oldest = b.start
+				}
+				if b.end.After(ts.Newest) {
+					ts.Newest = b.end
+				}
+			})
 		}
 		if t.curSet {
 			ts.Buckets++

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# server_smoke.sh — the CI serving-path smoke test.
+#
+# Builds the real binaries, starts nyquistd on a random port, drives it
+# with monitorsim's load-generator mode (a synthetic known-Nyquist
+# diurnal series over HTTP; the generator itself asserts the estimate
+# endpoint converges near ground truth), then sends SIGTERM and requires
+# a clean graceful shutdown (exit 0 with a final store report).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/nyquistd" ./cmd/nyquistd
+go build -o "$workdir/monitorsim" ./cmd/monitorsim
+
+log="$workdir/nyquistd.log"
+"$workdir/nyquistd" -addr 127.0.0.1:0 >"$log" 2>&1 &
+daemon=$!
+
+port=""
+for _ in $(seq 1 100); do
+    port=$(sed -n 's/.*listening on .*:\([0-9]*\)$/\1/p' "$log" | head -1)
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+if [ -z "$port" ]; then
+    echo "server_smoke: nyquistd never reported its port" >&2
+    cat "$log" >&2
+    exit 1
+fi
+echo "server_smoke: nyquistd up on port $port"
+
+# The load generator exits non-zero when the server's estimate misses
+# the diurnal ground truth — that failure fails the job via set -e.
+"$workdir/monitorsim" -push "http://127.0.0.1:$port"
+
+curl -sf "http://127.0.0.1:$port/healthz" >/dev/null
+curl -sf "http://127.0.0.1:$port/api/v1/stats" | tee "$workdir/stats.json"
+echo
+
+kill -TERM "$daemon"
+rc=0
+wait "$daemon" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "server_smoke: nyquistd exited $rc on SIGTERM, want a clean 0" >&2
+    cat "$log" >&2
+    exit 1
+fi
+grep -q "shutting down" "$log" || { echo "server_smoke: no graceful-shutdown line in the log" >&2; cat "$log" >&2; exit 1; }
+echo "server_smoke: PASS (clean shutdown)"
