@@ -7,17 +7,28 @@
 // serving node retains roughly an order of magnitude more points per
 // byte than a []Point store would.
 //
+// With -data-dir the daemon is restart-safe: sealed blocks and
+// estimator tuning state stream into a write-ahead log with batched
+// fsync (-fsync-every is the durability window), a background compactor
+// folds the log into block snapshots, and on boot the store and the
+// estimators are rebuilt from snapshot + log — a SIGKILLed daemon comes
+// back serving identical queries and estimates for everything that was
+// synced. Without -data-dir it serves memory-only, as before.
+//
 // Usage:
 //
 //	nyquistd [-addr :9464] [-shards 16] [-raw-capacity 4096]
 //	         [-tier-capacity 1024] [-tiers 2] [-compress-block 128]
 //	         [-window 256] [-emit-every 8] [-max-body 8388608]
+//	         [-max-series 1000000]
+//	         [-data-dir DIR] [-fsync-every 10ms] [-snapshot-every 60s]
 //
 // The daemon prints "nyquistd: listening on HOST:PORT" once the socket
 // is bound (use -addr 127.0.0.1:0 to pick a free port: the printed line
 // is machine-parseable, which is how the CI smoke job finds it), serves
-// until SIGINT/SIGTERM, then drains in-flight requests and exits 0 with
-// a final store report. See docs/API.md for the endpoints.
+// until SIGINT/SIGTERM, then drains in-flight requests, seals and
+// commits the log tail (when durable) and exits 0 with a final store
+// report. See docs/API.md for the endpoints.
 package main
 
 import (
@@ -35,6 +46,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/monitor"
 	"repro/internal/tsdb"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -47,13 +59,28 @@ func main() {
 		compress     = flag.Int("compress-block", 128, "points per sealed Gorilla block (0 = uncompressed rings)")
 		window       = flag.Int("window", 256, "per-series streaming-estimator window in samples")
 		emitEvery    = flag.Int("emit-every", 8, "samples between estimate refreshes once a window is full")
+		maxSeries    = flag.Int("max-series", 1_000_000, "estimator series cap; new series beyond it are stored but not estimated (0 = unbounded)")
 		maxBody      = flag.Int64("max-body", 8<<20, "max ingest request body in bytes")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
+
+		dataDir       = flag.String("data-dir", "", "durability directory for the WAL and snapshots (empty = memory-only)")
+		fsyncEvery    = flag.Duration("fsync-every", 10*time.Millisecond, "WAL group-commit window (negative = fsync every append)")
+		segmentBytes  = flag.Int64("segment-bytes", 64<<20, "WAL segment rotation size in bytes")
+		snapshotEvery = flag.Duration("snapshot-every", 60*time.Second, "snapshot/compaction cadence (negative = never)")
+		stateEvery    = flag.Duration("state-every", 15*time.Second, "estimator tuning-state record cadence (negative = only on shutdown/snapshot)")
 	)
 	flag.Parse()
 
+	if *dataDir != "" && *compress <= 0 {
+		fmt.Fprintln(os.Stderr, "nyquistd: -data-dir requires -compress-block > 0 (the WAL persists sealed blocks)")
+		os.Exit(2)
+	}
 	store := monitor.NewTieredStore(tsdb.Config{
 		Shards: *shards,
+		// The serving store is strict-append: a point the store refuses
+		// (out of order, unrepresentable timestamp) is reported to the
+		// client as rejected — and, when durable, never reaches the WAL.
+		StrictAppend: true,
 		Retention: tsdb.RetentionConfig{
 			RawCapacity:   *rawCapacity,
 			TierCapacity:  *tierCapacity,
@@ -61,9 +88,34 @@ func main() {
 			CompressBlock: *compress,
 		},
 	})
+	est := monitor.NewIngestEstimator(store, monitor.IngestConfig{
+		WindowSamples: *window,
+		EmitEvery:     *emitEvery,
+		MaxSeries:     *maxSeries,
+	})
+
+	var durable *wal.Durable
+	if *dataDir != "" {
+		var err error
+		durable, err = wal.Open(*dataDir, store, est, wal.Options{
+			FsyncEvery:    *fsyncEvery,
+			SegmentBytes:  *segmentBytes,
+			SnapshotEvery: *snapshotEvery,
+			StateEvery:    *stateEvery,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nyquistd: open data dir: %v\n", err)
+			os.Exit(1)
+		}
+		ri := durable.Replay()
+		fmt.Printf("nyquistd: recovered %s: %d series, %d replayed points across %d segments (snapshot=%v, torn_tail=%v) in %v\n",
+			*dataDir, ri.Series, ri.Points, ri.Segments, ri.SnapshotLoaded, ri.TornTail, ri.Duration.Round(time.Millisecond))
+	}
+
 	srv := api.NewServer(api.Config{
 		Store:        store,
-		Ingest:       monitor.IngestConfig{WindowSamples: *window, EmitEvery: *emitEvery},
+		Estimator:    est,
+		WAL:          durable,
 		MaxBodyBytes: *maxBody,
 	})
 
@@ -97,6 +149,15 @@ func main() {
 	if err := hs.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "nyquistd: shutdown: %v\n", err)
 		os.Exit(1)
+	}
+	if durable != nil {
+		// Seal the active tails and commit the log so a graceful
+		// restart loses nothing at all.
+		if err := durable.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "nyquistd: wal close: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("nyquistd: WAL sealed and committed")
 	}
 	st := store.Stats()
 	fmt.Printf("nyquistd: served %d appends across %d series; retained %d raw + %d buckets",

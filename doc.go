@@ -13,8 +13,10 @@
 // The toolkit also runs as a network service: cmd/nyquistd is the
 // Nyquist-aware ingest/query daemon (HTTP batch ingest with a live
 // estimate per pushed series, estimate-tuned retention over
-// Gorilla-compressed storage, tier-stitched range queries — see
-// docs/API.md), and cmd/monitorsim -push load-generates against it.
+// Gorilla-compressed storage, tier-stitched range queries, and — with
+// -data-dir — a write-ahead log plus block snapshots that make the
+// daemon restart-safe; see docs/API.md), and cmd/monitorsim -push
+// load-generates against it.
 //
 // The benchmarks in this package (bench_test.go) regenerate each paper
 // figure under the Go benchmark harness; see EXPERIMENTS.md for

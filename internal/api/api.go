@@ -37,16 +37,28 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/series"
 	"repro/internal/tsdb"
+	"repro/internal/wal"
 )
 
 // Config parameterizes a Server.
 type Config struct {
 	// Store is the backing store. Nil selects the serving default:
-	// 16-shard engine, 4096-point compressed raw rings, two
-	// min/max/mean tiers of 1024 buckets, 128-entry Gorilla blocks.
+	// 16-shard strict-append engine, 4096-point compressed raw rings,
+	// two min/max/mean tiers of 1024 buckets, 128-entry Gorilla blocks.
 	Store *monitor.Store
-	// Ingest parameterizes the per-series estimate-on-ingest hook.
+	// Estimator is the estimate-on-ingest hook. Nil builds one over
+	// Store from Ingest; pass an existing estimator when it was already
+	// wired elsewhere (the durability layer restores state into it
+	// before the server starts).
+	Estimator *monitor.IngestEstimator
+	// Ingest parameterizes the per-series estimate-on-ingest hook
+	// (ignored when Estimator is set).
 	Ingest monitor.IngestConfig
+	// WAL, when set, is the durability subsystem whose stats are
+	// surfaced through /api/v1/stats. The server never writes to it
+	// directly — sealed blocks reach the log through the store's seal
+	// hook — so this is reporting-only wiring.
+	WAL *wal.Durable
 	// MaxBodyBytes bounds an ingest request body; zero selects 8 MiB.
 	MaxBodyBytes int64
 	// MaxQueryPoints caps (and defaults) a query's point budget; zero
@@ -55,10 +67,14 @@ type Config struct {
 }
 
 // DefaultStore returns the serving-default store configuration (see
-// Config.Store).
+// Config.Store). Serving stores are strict-append: a point the store
+// refuses (out of order, or a timestamp outside the representable
+// range) is reported as rejected, never as accepted — the contract the
+// write-ahead log's replay also relies on.
 func DefaultStore() *monitor.Store {
 	return monitor.NewTieredStore(tsdb.Config{
-		Shards: 16,
+		Shards:       16,
+		StrictAppend: true,
 		Retention: tsdb.RetentionConfig{
 			RawCapacity:   4096,
 			TierCapacity:  1024,
@@ -82,6 +98,9 @@ func NewServer(cfg Config) *Server {
 	if cfg.Store == nil {
 		cfg.Store = DefaultStore()
 	}
+	if cfg.Estimator == nil {
+		cfg.Estimator = monitor.NewIngestEstimator(cfg.Store, cfg.Ingest)
+	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 8 << 20
 	}
@@ -91,13 +110,16 @@ func NewServer(cfg Config) *Server {
 	return &Server{
 		cfg:    cfg,
 		store:  cfg.Store,
-		ingest: monitor.NewIngestEstimator(cfg.Store, cfg.Ingest),
+		ingest: cfg.Estimator,
 		start:  time.Now(),
 	}
 }
 
 // Store exposes the backing store (reporting, tests).
 func (s *Server) Store() *monitor.Store { return s.store }
+
+// Ingest exposes the estimate-on-ingest hook (durability wiring, tests).
+func (s *Server) Ingest() *monitor.IngestEstimator { return s.ingest }
 
 // Handler returns the route mux. The returned handler is safe for
 // concurrent use.
@@ -138,8 +160,43 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	const maxLineBytes = 1 << 20
 	body := bufio.NewReaderSize(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), 64<<10)
 	resp := IngestResponse{}
-	seen := map[string]bool{}
+	// seen doubles as the per-request series-name intern table: the fast
+	// parser yields names as byte slices into the read buffer, and the
+	// map lookup with a string(bytes) key is allocation-free, so each
+	// distinct series name is materialized once per batch instead of
+	// once per line.
+	seen := map[string]string{}
 	lineNo := 0
+	intern := func(b []byte) (string, bool) {
+		if id, ok := seen[string(b)]; ok {
+			return id, false
+		}
+		id := string(b)
+		seen[id] = id
+		return id, true
+	}
+	ingestPoint := func(id string, p series.Point, isNew bool) {
+		// An append the store refuses is a rejected line, not an
+		// accepted one, and must not feed the estimator: an out-of-order
+		// point that never landed would otherwise count as Accepted and
+		// still poison the series' interval probe and analysis window.
+		if aerr := s.store.Append(id, p); aerr != nil {
+			resp.reject(lineNo, appendReason(aerr))
+			if isNew {
+				// Series counts series that landed points; un-intern so
+				// a later accepted point still counts it.
+				delete(seen, id)
+			}
+			return
+		}
+		if !s.ingest.Observe(id, p) {
+			resp.EstimatorDropped++
+		}
+		resp.Accepted++
+		if isNew {
+			resp.Series++
+		}
+	}
 	for {
 		line, err := body.ReadBytes('\n')
 		if len(line) > 0 {
@@ -150,6 +207,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			case len(line) == 0 || allSpace(line):
 				// blank separator
 			default:
+				if fl, ok := fastParseLine(line); ok {
+					id, isNew := intern(fl.series)
+					ingestPoint(id, series.Point{Time: fl.t, Value: fl.value}, isNew)
+					break
+				}
 				var in IngestLine
 				if jerr := json.Unmarshal(line, &in); jerr != nil {
 					resp.reject(lineNo, fmt.Sprintf("bad JSON: %v", jerr))
@@ -160,13 +222,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 					resp.reject(lineNo, perr.Error())
 					break
 				}
-				_ = s.store.Append(in.Series, p)
-				s.ingest.Observe(in.Series, p)
-				resp.Accepted++
-				if !seen[in.Series] {
-					seen[in.Series] = true
-					resp.Series++
-				}
+				id, isNew := intern([]byte(in.Series))
+				ingestPoint(id, p, isNew)
 			}
 		}
 		if err != nil {
@@ -188,6 +245,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// appendReason renders a store rejection as an ingest error reason.
+func appendReason(err error) string {
+	switch {
+	case errors.Is(err, tsdb.ErrOutOfOrder):
+		return "out of order: timestamp precedes the series' newest stored sample"
+	case errors.Is(err, tsdb.ErrTimeRange):
+		return "timestamp outside the storable range (years 1678-2262)"
+	default:
+		return "store rejected the point: " + err.Error()
+	}
 }
 
 func allSpace(b []byte) bool {
@@ -232,7 +301,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.store.QueryRange(id, from, to, maxPoints)
 	if err != nil {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown series %q", id))
+		// Only a genuinely unknown series is a 404. Any other store
+		// failure (e.g. a corrupt replayed block surfacing at read
+		// time) is a 500: masking it as "unknown series" would hide a
+		// durability problem behind an answer that looks routine.
+		if errors.Is(err, monitor.ErrNoSeries) {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown series %q", id))
+			return
+		}
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("query %q: %v", id, err))
 		return
 	}
 	writeJSON(w, http.StatusOK, queryResponseFrom(res))
@@ -260,7 +337,11 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 	if id := r.URL.Query().Get("series"); id != "" {
 		st, err := s.store.DB().SeriesStats(id)
 		if err != nil {
-			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown series %q", id))
+			if errors.Is(err, monitor.ErrNoSeries) {
+				writeError(w, http.StatusNotFound, fmt.Sprintf("unknown series %q", id))
+				return
+			}
+			writeError(w, http.StatusInternalServerError, fmt.Sprintf("series %q: %v", id, err))
 			return
 		}
 		writeJSON(w, http.StatusOK, seriesEntryFrom(*st))
@@ -274,9 +355,16 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleStats reports whole-store operator stats.
+// handleStats reports whole-store operator stats, including estimator
+// cardinality accounting and (when durability is enabled) the WAL's
+// state.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponseFrom(s.store.Stats(), s.ingest.Len(), time.Since(s.start)))
+	var walStats *wal.Stats
+	if s.cfg.WAL != nil {
+		st := s.cfg.WAL.Stats()
+		walStats = &st
+	}
+	writeJSON(w, http.StatusOK, statsResponseFrom(s.store.Stats(), s.ingest, walStats, time.Since(s.start)))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/monitor"
 	"repro/internal/tsdb"
+	"repro/internal/wal"
 )
 
 var apiStart = time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
@@ -339,6 +340,212 @@ func TestTimeParamRejectsDegenerateLiterals(t *testing.T) {
 		got, err := parseTimeParam(in)
 		if err != nil || !got.Equal(want) {
 			t.Fatalf("parseTimeParam(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+}
+
+// TestIngestOutOfOrderAccounting is the regression test for the
+// accepted-but-never-landed bug: an out-of-order point must be counted
+// as a rejected line (with its line number and reason), must not land in
+// the store, and must not feed the estimator.
+func TestIngestOutOfOrderAccounting(t *testing.T) {
+	srv, ts := newTestServer(t)
+	id := "ext/ooo/gauge"
+	line := func(i int) string {
+		return fmt.Sprintf(`{"series":%q,"ts":%d,"value":%d}`, id, apiStart.Add(time.Duration(i)*time.Second).Unix(), i)
+	}
+	out := postLines(t, ts.URL, []string{line(0), line(1), line(2)})
+	if out.Accepted != 3 || out.Rejected != 0 {
+		t.Fatalf("seed batch: %+v", out)
+	}
+
+	// Line 2 of this batch rewinds the clock; lines 1 and 3 are fine.
+	out = postLines(t, ts.URL, []string{line(3), line(1), line(4)})
+	if out.Accepted != 2 || out.Rejected != 1 {
+		t.Fatalf("out-of-order batch: accepted=%d rejected=%d, want 2/1 (%+v)", out.Accepted, out.Rejected, out)
+	}
+	if len(out.Errors) != 1 || out.Errors[0].Line != 2 || !strings.Contains(out.Errors[0].Reason, "out of order") {
+		t.Fatalf("rejection detail = %+v, want line 2 flagged out of order", out.Errors)
+	}
+
+	// The store holds exactly the 5 accepted points.
+	res, err := srv.Store().QueryRange(id, time.Time{}, time.Time{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 5 {
+		t.Fatalf("store holds %d points, want 5 (the rejected point must not land)", len(res.Points))
+	}
+	// The estimator saw only the accepted points.
+	adv, ok := srv.Ingest().Advice(id)
+	if !ok || adv.Samples != 5 {
+		t.Fatalf("estimator samples = %d (ok=%v), want 5", adv.Samples, ok)
+	}
+
+	// A far-future timestamp (outside int64 nanoseconds) is likewise a
+	// rejected line, not a stored point.
+	out = postLines(t, ts.URL, []string{line(5), fmt.Sprintf(`{"series":%q,"ts":"9999-01-01T00:00:00Z","value":1}`, id)})
+	if out.Accepted != 1 || out.Rejected != 1 || !strings.Contains(out.Errors[0].Reason, "storable range") {
+		t.Fatalf("time-range batch: %+v", out)
+	}
+}
+
+// TestQueryErrorStatuses pins the unknown-series vs store-failure
+// distinction: only ErrNoSeries maps to 404.
+func TestQueryErrorStatuses(t *testing.T) {
+	_, ts := newTestServer(t)
+	var body map[string]any
+	if code := getJSON(t, ts.URL+"/api/v1/query?series=never/written", &body); code != http.StatusNotFound {
+		t.Fatalf("unknown series: HTTP %d, want 404", code)
+	}
+	if code := getJSON(t, ts.URL+"/api/v1/series?series=never/written", &body); code != http.StatusNotFound {
+		t.Fatalf("unknown series detail: HTTP %d, want 404", code)
+	}
+}
+
+// TestIngestEstimatorCapSurfaced pins the MaxSeries cap on the serving
+// path: overflow series are stored but flagged estimator_dropped, and
+// /api/v1/stats reports the cap and the rejected count.
+func TestIngestEstimatorCapSurfaced(t *testing.T) {
+	srv := NewServer(Config{Ingest: monitor.IngestConfig{WindowSamples: 64, MaxSeries: 2}})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	var lines []string
+	for s := 0; s < 4; s++ {
+		for i := 0; i < 3; i++ {
+			lines = append(lines, fmt.Sprintf(`{"series":"card/%d","ts":%d,"value":1}`,
+				s, apiStart.Add(time.Duration(i)*time.Second).Unix()))
+		}
+	}
+	out := postLines(t, ts.URL, lines)
+	if out.Accepted != 12 {
+		t.Fatalf("accepted %d, want 12 (capped series still store)", out.Accepted)
+	}
+	if out.EstimatorDropped != 6 {
+		t.Fatalf("estimator_dropped = %d, want 6 (two overflow series x three points)", out.EstimatorDropped)
+	}
+	var stats StatsResponse
+	if code := getJSON(t, ts.URL+"/api/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: HTTP %d", code)
+	}
+	if stats.EstimatorMaxSeries != 2 || stats.EstimatedSeries != 2 || stats.EstimatorRejectedPoints != 6 {
+		t.Fatalf("stats cap fields = max %d, estimated %d, rejected %d; want 2/2/6",
+			stats.EstimatorMaxSeries, stats.EstimatedSeries, stats.EstimatorRejectedPoints)
+	}
+	if stats.Series != 4 {
+		t.Fatalf("stored series = %d, want 4 (the cap bounds the estimator, not storage)", stats.Series)
+	}
+}
+
+// TestStatsWALSection pins the durability reporting: a WAL-backed server
+// surfaces the subsystem in /api/v1/stats.
+func TestStatsWALSection(t *testing.T) {
+	store := DefaultStore()
+	est := monitor.NewIngestEstimator(store, monitor.IngestConfig{WindowSamples: 64})
+	d, err := wal.Open(t.TempDir(), store, est, wal.Options{FsyncEvery: -1, SnapshotEvery: -1, StateEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	srv := NewServer(Config{Store: store, Estimator: est, WAL: d})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	var lines []string
+	for i := 0; i < 300; i++ { // > 2 sealed 128-point blocks
+		lines = append(lines, fmt.Sprintf(`{"series":"wal/gauge","ts":%d,"value":%d}`,
+			apiStart.Add(time.Duration(i)*time.Second).Unix(), i%7))
+	}
+	postLines(t, ts.URL, lines)
+	var stats StatsResponse
+	if code := getJSON(t, ts.URL+"/api/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: HTTP %d", code)
+	}
+	if stats.WAL == nil {
+		t.Fatal("stats.wal missing on a durable server")
+	}
+	if stats.WAL.Records < 2 {
+		t.Fatalf("wal.records = %d, want the sealed blocks logged", stats.WAL.Records)
+	}
+	if stats.WAL.Segments < 1 || stats.WAL.WALBytes == 0 {
+		t.Fatalf("wal segment accounting = %+v", stats.WAL)
+	}
+}
+
+// TestFastLineMatchesJSON differentially checks the ingest fast path
+// against the full encoding/json route: every line the fast parser
+// accepts must produce exactly the point the slow path produces, and
+// every line it bails on must still work (or fail) through the slow
+// path — the fast path is an optimization, never a second dialect.
+func TestFastLineMatchesJSON(t *testing.T) {
+	lines := []string{
+		`{"series":"a/b","ts":1753600000,"value":1.5}`,
+		`{"series":"a/b","ts":1753600000.25,"value":-3}`,
+		`{"series":"a/b","ts":"2026-07-01T00:00:00Z","value":42}`,
+		`{"series":"a/b","ts":"2026-07-01T00:00:00.123456789+02:00","value":0.001}`,
+		`{"value":7,"ts":1753600000,"series":"reordered"}`,
+		`{ "series" : "spaced" , "ts" : 1 , "value" : 2 }`,
+		`{"series":"a/b","ts":1.7536e9,"value":1}`,
+		`{"series":"escAped","ts":1,"value":1}`,        // escape: must fall back
+		`{"series":"a","ts":1,"value":1,"extra":true}`, // unknown key: must fall back
+		`{"series":"a","ts":{"nested":1},"value":1}`,   // nested: fall back, slow path rejects
+		`{"series":"","ts":1,"value":1}`,               // empty series: rejected either way
+		`{"series":"a","ts":"not a time","value":1}`,   // bad ts
+		`{"series":"a","ts":1}`,                        // missing value
+		`{"series":"dup","ts":1,"ts":2,"value":1}`,     // duplicate key: fall back
+		`not json at all`,
+		// Number forms Go's parsers take but JSON forbids: the fast path
+		// must bail so the slow path rejects the whole line — otherwise
+		// the same value's fate would flip on an unrelated detail.
+		`{"series":"a","ts":1,"value":+1.5}`,
+		`{"series":"a","ts":1,"value":.5}`,
+		`{"series":"a","ts":1,"value":5.}`,
+		`{"series":"a","ts":1,"value":01}`,
+		`{"series":"a","ts":.5,"value":1}`,
+		`{"series":"a","ts":01,"value":1}`,
+		`{"series":"a","ts":1,"value":1e}`,
+		`{"series":"a","ts":1,"value":--1}`,
+		"{\"series\":\"ctrl\tchar\",\"ts\":1,\"value\":1}", // raw control byte in string: fall back
+	}
+	for _, raw := range lines {
+		line := []byte(raw)
+		var in IngestLine
+		jerr := json.Unmarshal(line, &in)
+		var slowPoint *struct {
+			id string
+			t  time.Time
+			v  float64
+		}
+		if jerr == nil {
+			if p, perr := in.point(); perr == nil {
+				slowPoint = &struct {
+					id string
+					t  time.Time
+					v  float64
+				}{in.Series, p.Time, p.Value}
+			}
+		}
+		fl, ok := fastParseLine(line)
+		if !ok {
+			continue // fast path bailed: the slow path owns the line
+		}
+		if slowPoint == nil {
+			t.Fatalf("fast path accepted %q but the slow path rejects it", raw)
+		}
+		if string(fl.series) != slowPoint.id || !fl.t.Equal(slowPoint.t) || fl.value != slowPoint.v {
+			t.Fatalf("fast path disagrees on %q: (%s, %v, %v) vs (%s, %v, %v)",
+				raw, fl.series, fl.t, fl.value, slowPoint.id, slowPoint.t, slowPoint.v)
+		}
+	}
+	// The common shapes must actually take the fast path, or the
+	// optimization silently dies.
+	for _, raw := range []string{
+		`{"series":"a/b","ts":1753600000,"value":1.5}`,
+		`{"series":"a/b","ts":"2026-07-01T00:00:00Z","value":42}`,
+	} {
+		if _, ok := fastParseLine([]byte(raw)); !ok {
+			t.Fatalf("fast path bailed on the canonical shape %q", raw)
 		}
 	}
 }

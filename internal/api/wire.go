@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/monitor"
 	"repro/internal/tsdb"
+	"repro/internal/wal"
 )
 
 // IngestLine is one POST /api/v1/ingest line: a JSON object per point.
@@ -26,13 +27,20 @@ type IngestLine struct {
 }
 
 // IngestResponse summarizes a batch: how many lines landed, how many
-// were malformed (with the first few reasons), and how many distinct
-// series the batch touched.
+// were rejected (malformed, out of order, or otherwise refused by the
+// store — with the first few reasons), and how many distinct series the
+// batch touched. A line is counted Accepted only when its point actually
+// landed in the store.
 type IngestResponse struct {
 	Accepted int           `json:"accepted"`
 	Rejected int           `json:"rejected"`
 	Series   int           `json:"series"`
 	Errors   []IngestError `json:"errors,omitempty"`
+	// EstimatorDropped counts accepted points that were stored but not
+	// fed to the estimate-on-ingest hook because its MaxSeries cap was
+	// hit (the hostile-cardinality bound): such series get no estimates
+	// or retention retuning until cardinality drops.
+	EstimatorDropped int `json:"estimator_dropped,omitempty"`
 }
 
 // IngestError locates one rejected line.
@@ -217,36 +225,113 @@ type StatsResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Shards        int     `json:"shards"`
 	Series        int     `json:"series"`
-	// EstimatedSeries counts series with a live ingest estimator.
-	EstimatedSeries int   `json:"estimated_series"`
-	RawPoints       int   `json:"raw_points"`
-	Buckets         int   `json:"buckets"`
-	Appends         int64 `json:"appends"`
-	Compacted       int64 `json:"compacted"`
-	Dropped         int64 `json:"dropped"`
+	// EstimatedSeries counts series with a live ingest estimator;
+	// EstimatorMaxSeries is the configured cap (0 = unbounded) and
+	// EstimatorRejectedPoints counts observations dropped because the
+	// cap was hit.
+	EstimatedSeries         int   `json:"estimated_series"`
+	EstimatorMaxSeries      int   `json:"estimator_max_series"`
+	EstimatorRejectedPoints int64 `json:"estimator_rejected_points"`
+	RawPoints               int   `json:"raw_points"`
+	Buckets                 int   `json:"buckets"`
+	Appends                 int64 `json:"appends"`
+	Compacted               int64 `json:"compacted"`
+	Dropped                 int64 `json:"dropped"`
 	// CompressedBytes/CompressedEntries describe the sealed Gorilla
 	// payload; BytesPerPoint is their ratio (0 when uncompressed).
 	CompressedBytes   int64   `json:"compressed_bytes"`
 	CompressedEntries int64   `json:"compressed_entries"`
 	BytesPerPoint     float64 `json:"bytes_per_point"`
+	// WAL reports the durability subsystem; absent when the server runs
+	// memory-only.
+	WAL *WALStatsJSON `json:"wal,omitempty"`
 }
 
-func statsResponseFrom(st tsdb.Stats, estimated int, uptime time.Duration) StatsResponse {
+// WALStatsJSON is the durability subsystem's operator view.
+type WALStatsJSON struct {
+	Dir string `json:"dir"`
+	// Segments/WALBytes describe the live segment log; Records and
+	// Syncs count this session's appended records and group commits.
+	Segments int   `json:"segments"`
+	WALBytes int64 `json:"wal_bytes"`
+	Records  int64 `json:"records"`
+	Syncs    int64 `json:"syncs"`
+	// Errors counts failed log appends/syncs/rotations and LastError is
+	// the newest failure: non-zero means durability is degraded (disk
+	// full, EIO) even though ingest keeps serving.
+	Errors    int64  `json:"errors"`
+	LastError string `json:"last_error,omitempty"`
+	// Snapshots counts snapshots taken this session (SnapshotErrors the
+	// failed attempts); LastSnapshot stamps the newest (absent before
+	// the first).
+	Snapshots      int64  `json:"snapshots"`
+	SnapshotErrors int64  `json:"snapshot_errors"`
+	LastSnapshot   string `json:"last_snapshot,omitempty"`
+	SnapshotSeries int    `json:"snapshot_series,omitempty"`
+	// Replay describes what boot recovery did.
+	Replay WALReplayJSON `json:"replay"`
+}
+
+// WALReplayJSON summarizes boot recovery.
+type WALReplayJSON struct {
+	SnapshotLoaded  bool    `json:"snapshot_loaded"`
+	Segments        int     `json:"segments"`
+	Records         int64   `json:"records"`
+	Points          int64   `json:"points"`
+	SkippedPoints   int64   `json:"skipped_points"`
+	Series          int     `json:"series"`
+	EstimatorStates int     `json:"estimator_states"`
+	TornTail        bool    `json:"torn_tail"`
+	DurationSeconds float64 `json:"duration_seconds"`
+}
+
+func statsResponseFrom(st tsdb.Stats, est *monitor.IngestEstimator, walStats *wal.Stats, uptime time.Duration) StatsResponse {
 	out := StatsResponse{
-		UptimeSeconds:     uptime.Seconds(),
-		Shards:            st.Shards,
-		Series:            st.Series,
-		EstimatedSeries:   estimated,
-		RawPoints:         st.RawPoints,
-		Buckets:           st.Buckets,
-		Appends:           st.Appends,
-		Compacted:         st.Compacted,
-		Dropped:           st.Dropped,
-		CompressedBytes:   st.CompressedBytes,
-		CompressedEntries: st.CompressedEntries,
+		UptimeSeconds:           uptime.Seconds(),
+		Shards:                  st.Shards,
+		Series:                  st.Series,
+		EstimatedSeries:         est.Len(),
+		EstimatorMaxSeries:      est.Config().MaxSeries,
+		EstimatorRejectedPoints: est.Rejected(),
+		RawPoints:               st.RawPoints,
+		Buckets:                 st.Buckets,
+		Appends:                 st.Appends,
+		Compacted:               st.Compacted,
+		Dropped:                 st.Dropped,
+		CompressedBytes:         st.CompressedBytes,
+		CompressedEntries:       st.CompressedEntries,
 	}
 	if st.CompressedEntries > 0 {
 		out.BytesPerPoint = float64(st.CompressedBytes) / float64(st.CompressedEntries)
+	}
+	if walStats != nil {
+		w := &WALStatsJSON{
+			Dir:            walStats.Dir,
+			Segments:       walStats.Log.Segments,
+			WALBytes:       walStats.Log.Bytes,
+			Records:        walStats.Log.Records,
+			Syncs:          walStats.Log.Syncs,
+			Errors:         walStats.Log.Errors,
+			LastError:      walStats.Log.LastError,
+			Snapshots:      walStats.Snapshots,
+			SnapshotErrors: walStats.SnapshotErrors,
+			SnapshotSeries: walStats.SnapshotSeries,
+			Replay: WALReplayJSON{
+				SnapshotLoaded:  walStats.Replay.SnapshotLoaded,
+				Segments:        walStats.Replay.Segments,
+				Records:         walStats.Replay.Records,
+				Points:          walStats.Replay.Points,
+				SkippedPoints:   walStats.Replay.SkippedPoints,
+				Series:          walStats.Replay.Series,
+				EstimatorStates: walStats.Replay.EstimatorStates,
+				TornTail:        walStats.Replay.TornTail,
+				DurationSeconds: walStats.Replay.Duration.Seconds(),
+			},
+		}
+		if !walStats.LastSnapshot.IsZero() {
+			w.LastSnapshot = wireTime(walStats.LastSnapshot)
+		}
+		out.WAL = w
 	}
 	return out
 }

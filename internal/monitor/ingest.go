@@ -39,6 +39,8 @@ type IngestEstimator struct {
 
 	mu     sync.RWMutex
 	series map[string]*ingestSeries
+	// rejected counts observations dropped because MaxSeries was hit.
+	rejected int64
 }
 
 // IngestConfig parameterizes an IngestEstimator.
@@ -65,6 +67,14 @@ type IngestConfig struct {
 	// the controller's §4.2 asymmetry (one clean window among aliased
 	// ones is noise, not license to coarsen storage). Zero selects 2.
 	RetuneCleanStreak int
+	// MaxSeries bounds the number of per-series estimator windows. Each
+	// series costs a sliding-DFT window (O(WindowSamples) floats), so a
+	// hostile cardinality explosion — an id per request — would grow the
+	// estimator without bound. Observations for new series beyond the cap
+	// are dropped (and counted; see Rejected): existing series keep
+	// estimating, the overflow series simply get no estimates or
+	// retention retuning. Zero means unbounded.
+	MaxSeries int
 }
 
 func (c IngestConfig) withDefaults() IngestConfig {
@@ -156,17 +166,24 @@ func NewIngestEstimator(store *Store, cfg IngestConfig) *IngestEstimator {
 	}
 }
 
-// Observe ingests one point for id. It never fails: pre-lock points
-// accumulate toward the interval probe, post-lock points feed the
-// series' streaming estimator, and clean estimate refreshes retune the
-// store's retention for id.
-func (e *IngestEstimator) Observe(id string, p series.Point) {
+// Observe ingests one point for id: pre-lock points accumulate toward
+// the interval probe, post-lock points feed the series' streaming
+// estimator, and clean estimate refreshes retune the store's retention
+// for id. The only way it declines is the MaxSeries cap: an observation
+// for a new series beyond the cap is dropped and counted, and Observe
+// returns false.
+func (e *IngestEstimator) Observe(id string, p series.Point) bool {
 	e.mu.RLock()
 	s := e.series[id]
 	e.mu.RUnlock()
 	if s == nil {
 		e.mu.Lock()
 		if s = e.series[id]; s == nil {
+			if e.cfg.MaxSeries > 0 && len(e.series) >= e.cfg.MaxSeries {
+				e.rejected++
+				e.mu.Unlock()
+				return false
+			}
 			s = &ingestSeries{}
 			e.series[id] = s
 		}
@@ -178,7 +195,7 @@ func (e *IngestEstimator) Observe(id string, p series.Point) {
 	s.samples++
 	if s.est == nil {
 		s.probe(e, id, p)
-		return
+		return true
 	}
 	// Drift watch: a sustained change in the inter-arrival gap means
 	// the client changed its poll rate; the locked grid (and with it
@@ -194,7 +211,7 @@ func (e *IngestEstimator) Observe(id string, p series.Point) {
 			}
 			if s.drift > e.cfg.ProbeGaps {
 				s.reprobe(p)
-				return
+				return true
 			}
 		}
 	}
@@ -213,6 +230,7 @@ func (e *IngestEstimator) Observe(id string, p series.Point) {
 			s.cleanStreak = 0
 		}
 	}
+	return true
 }
 
 // probe accumulates pre-lock points and locks the interval once enough
@@ -321,4 +339,112 @@ func (e *IngestEstimator) Len() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return len(e.series)
+}
+
+// Rejected returns the number of observations dropped because the
+// MaxSeries cap was hit.
+func (e *IngestEstimator) Rejected() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.rejected
+}
+
+// Config returns the estimator's effective configuration (defaults
+// applied).
+func (e *IngestEstimator) Config() IngestConfig { return e.cfg }
+
+// IngestSeriesState is one series' durable tuning state: everything a
+// restarted estimator needs to keep giving the same advice without
+// re-learning from scratch. The sliding analysis window itself is not
+// exported — it is rebuilt ("rewarmed") by replaying the newest stored
+// points through Observe.
+type IngestSeriesState struct {
+	// Series is the series id.
+	Series string
+	// Interval is the locked poll interval (0 = still probing).
+	Interval time.Duration
+	// Samples counts every point observed for the series.
+	Samples int64
+	// Reprobes counts interval re-locks from sustained gap drift.
+	Reprobes int
+	// NyquistRate is the last clean estimate handed to SetNyquist.
+	NyquistRate float64
+	// CleanStreak is the retune debounce counter.
+	CleanStreak int
+}
+
+// ExportState captures every series' tuning state for persistence.
+func (e *IngestEstimator) ExportState() []IngestSeriesState {
+	e.mu.RLock()
+	ids := make([]string, 0, len(e.series))
+	ptrs := make([]*ingestSeries, 0, len(e.series))
+	for id, s := range e.series {
+		ids = append(ids, id)
+		ptrs = append(ptrs, s)
+	}
+	e.mu.RUnlock()
+	out := make([]IngestSeriesState, 0, len(ids))
+	for i, s := range ptrs {
+		s.mu.Lock()
+		out = append(out, IngestSeriesState{
+			Series:      ids[i],
+			Interval:    s.interval,
+			Samples:     s.samples,
+			Reprobes:    s.reprobes,
+			NyquistRate: s.lastNyquist,
+			CleanStreak: s.cleanStreak,
+		})
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Series < out[b].Series })
+	return out
+}
+
+// RestoreState reinstates one series' tuning state, replacing any
+// existing state for the id: the locked interval comes back immediately
+// (no re-probe) and the last trusted Nyquist estimate is carried over so
+// Advice answers before the analysis window rewarms. Subject to the same
+// MaxSeries cap as Observe; returns false when the cap drops it.
+func (e *IngestEstimator) RestoreState(st IngestSeriesState) bool {
+	e.mu.Lock()
+	s := e.series[st.Series]
+	if s == nil {
+		if e.cfg.MaxSeries > 0 && len(e.series) >= e.cfg.MaxSeries {
+			e.rejected++
+			e.mu.Unlock()
+			return false
+		}
+		s = &ingestSeries{}
+		e.series[st.Series] = s
+	}
+	e.mu.Unlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.est = nil
+	s.interval = 0
+	s.pending = nil
+	s.haveLast = false
+	s.drift = 0
+	s.last = nil
+	s.samples = st.Samples
+	s.reprobes = st.Reprobes
+	s.lastNyquist = st.NyquistRate
+	s.cleanStreak = st.CleanStreak
+	if st.Interval > 0 {
+		est, err := core.NewStreamEstimator(core.StreamConfig{
+			Interval:      st.Interval,
+			WindowSamples: e.cfg.WindowSamples,
+			EmitEvery:     e.cfg.EmitEvery,
+			Headroom:      e.cfg.Headroom,
+		})
+		if err == nil {
+			s.est = est
+			s.interval = st.Interval
+		}
+	}
+	if st.NyquistRate > 0 && e.store != nil {
+		e.store.SetNyquist(st.Series, st.NyquistRate)
+	}
+	return true
 }

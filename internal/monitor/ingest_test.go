@@ -166,3 +166,104 @@ func TestIngestEstimatorConcurrent(t *testing.T) {
 		t.Fatalf("observed %d series, want 4", e.Len())
 	}
 }
+
+// TestIngestEstimatorMaxSeries pins the hostile-cardinality bound: new
+// series beyond the cap are dropped and counted, existing series keep
+// estimating.
+func TestIngestEstimatorMaxSeries(t *testing.T) {
+	e := NewIngestEstimator(nil, IngestConfig{WindowSamples: 64, MaxSeries: 2})
+	p := func(i int) series.Point {
+		return series.Point{Time: ingestStart.Add(time.Duration(i) * time.Second), Value: float64(i)}
+	}
+	if !e.Observe("a", p(0)) || !e.Observe("b", p(0)) {
+		t.Fatal("observations under the cap were dropped")
+	}
+	for i := 0; i < 3; i++ {
+		if e.Observe(fmt.Sprintf("overflow/%d", i), p(i)) {
+			t.Fatalf("series beyond MaxSeries=2 was accepted")
+		}
+	}
+	if !e.Observe("a", p(1)) {
+		t.Fatal("existing series dropped after the cap was hit")
+	}
+	if got := e.Rejected(); got != 3 {
+		t.Fatalf("Rejected() = %d, want 3", got)
+	}
+	if got := e.Len(); got != 2 {
+		t.Fatalf("Len() = %d, want 2", got)
+	}
+	if _, ok := e.Advice("overflow/0"); ok {
+		t.Fatal("advice exists for a rejected series")
+	}
+}
+
+// TestIngestEstimatorStateRoundTrip pins the durability contract:
+// exported tuning state restored into a fresh estimator answers Advice
+// with the same interval and Nyquist rate, re-applies the retention
+// retune, and continues estimating when new points arrive.
+func TestIngestEstimatorStateRoundTrip(t *testing.T) {
+	mkStore := func() *Store {
+		return NewTieredStore(tsdb.Config{Retention: tsdb.RetentionConfig{RawCapacity: 128, Tiers: 2}})
+	}
+	cfg := IngestConfig{WindowSamples: 256, EmitEvery: 8}
+	store1 := mkStore()
+	e1 := NewIngestEstimator(store1, cfg)
+	const (
+		id       = "ext/router7/octets"
+		f2       = 16.0 / 256
+		f1       = f2 / 4
+		interval = time.Second
+	)
+	for i := 0; i < 600; i++ {
+		ts := ingestStart.Add(time.Duration(i) * interval)
+		e1.Observe(id, series.Point{Time: ts, Value: twoTone(f1, f2, float64(i))})
+	}
+	pre, _ := e1.Advice(id)
+	if pre.NyquistRate == 0 {
+		t.Fatal("no trusted estimate to persist")
+	}
+
+	states := e1.ExportState()
+	if len(states) != 1 || states[0].Series != id {
+		t.Fatalf("ExportState = %+v, want one entry for %q", states, id)
+	}
+	store2 := mkStore()
+	e2 := NewIngestEstimator(store2, cfg)
+	if !e2.RestoreState(states[0]) {
+		t.Fatal("RestoreState declined")
+	}
+	adv, ok := e2.Advice(id)
+	if !ok {
+		t.Fatal("no advice after restore")
+	}
+	if adv.Interval != pre.Interval {
+		t.Fatalf("restored interval %v, want %v", adv.Interval, pre.Interval)
+	}
+	if adv.NyquistRate != pre.NyquistRate {
+		t.Fatalf("restored nyquist %v, want %v", adv.NyquistRate, pre.NyquistRate)
+	}
+	if adv.Samples != pre.Samples {
+		t.Fatalf("restored samples %d, want %d", adv.Samples, pre.Samples)
+	}
+	if got := store2.NyquistRate(id); got != pre.NyquistRate {
+		t.Fatalf("restore did not re-apply SetNyquist: store rate %v, want %v", got, pre.NyquistRate)
+	}
+
+	// Rewarm: feeding the same tail the original estimator last saw
+	// converges back to (numerically) the same estimate without
+	// re-probing the interval.
+	for i := 600; i < 1300; i++ {
+		ts := ingestStart.Add(time.Duration(i) * interval)
+		e2.Observe(id, series.Point{Time: ts, Value: twoTone(f1, f2, float64(i))})
+	}
+	adv2, _ := e2.Advice(id)
+	if !adv2.Warm {
+		t.Fatalf("restored estimator never rewarmed: %+v", adv2)
+	}
+	if adv2.Reprobes != pre.Reprobes {
+		t.Fatalf("restored estimator re-probed: %d, want %d", adv2.Reprobes, pre.Reprobes)
+	}
+	if rel := math.Abs(adv2.NyquistRate-pre.NyquistRate) / pre.NyquistRate; rel > 0.05 {
+		t.Fatalf("rewarmed estimate %.6f Hz drifted from %.6f Hz (%.1f%%)", adv2.NyquistRate, pre.NyquistRate, 100*rel)
+	}
+}

@@ -48,20 +48,27 @@ func NewTieredStore(cfg tsdb.Config) *Store {
 // DB exposes the underlying engine for query/retention reporting.
 func (s *Store) DB() *tsdb.DB { return s.db }
 
-// Append adds one point to the series with the given id. The error is
-// always nil and kept only for call-site compatibility with the seed
-// store's fallible append.
+// Append adds one point to the series with the given id. Lenient stores
+// (the default) never fail; a store built with tsdb.Config.StrictAppend
+// — the serving/durability configuration — returns tsdb.ErrOutOfOrder
+// for a point older than the series' newest sample and tsdb.ErrTimeRange
+// for a timestamp outside the int64-nanosecond range, and the point does
+// not land.
 func (s *Store) Append(id string, p series.Point) error {
-	s.db.Append(id, p)
-	return nil
+	return s.db.Append(id, p)
 }
 
 // AppendUniform stores every sample of a uniform trace under id, locking
-// the series' shard once for the whole block.
+// the series' shard once for the whole block. Under StrictAppend the
+// first rejected sample stops the append and is returned.
 func (s *Store) AppendUniform(id string, u *series.Uniform) error {
-	s.db.AppendUniform(id, u)
-	return nil
+	return s.db.AppendUniform(id, u)
 }
+
+// SealActive force-seals every series' active compressed run (see
+// tsdb.DB.SealAll) so a write-ahead log sees the unsealed tails before
+// shutdown. Returns the number of blocks sealed.
+func (s *Store) SealActive() int { return s.db.SealAll() }
 
 // SetNyquist records the series' estimated Nyquist rate (2·f_max, hertz)
 // and retunes its retention tiers — the estimate→retain loop the

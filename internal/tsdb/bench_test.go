@@ -73,7 +73,7 @@ func BenchmarkStoreAppendParallel(b *testing.B) {
 	for _, shards := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("tsdb/shards=%d", shards), func(b *testing.B) {
 			db := New(Config{Shards: shards})
-			parallelAppend(b, nil, db.Append)
+			parallelAppend(b, nil, func(id string, p series.Point) { _ = db.Append(id, p) })
 		})
 	}
 	// The production shape: bounded rings with the compaction cascade
@@ -83,7 +83,7 @@ func BenchmarkStoreAppendParallel(b *testing.B) {
 	// lossless-tier interval.
 	b.Run("tsdb/shards=16/compacting", func(b *testing.B) {
 		db := New(Config{Shards: 16, Retention: RetentionConfig{RawCapacity: 4096, TierCapacity: 1024}})
-		parallelAppend(b, func(id string) { db.SetNyquistRate(id, 0.05) }, db.Append)
+		parallelAppend(b, func(id string) { db.SetNyquistRate(id, 0.05) }, func(id string, p series.Point) { _ = db.Append(id, p) })
 	})
 }
 

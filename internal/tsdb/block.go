@@ -350,6 +350,39 @@ func (blk Block) Len() int { return blk.n }
 // Size returns the compressed payload size in bytes.
 func (blk Block) Size() int { return len(blk.data) }
 
+// Data returns the block's encoded payload. The slice is the block's own
+// storage: callers persisting it (write-ahead logs, snapshots) must treat
+// it as read-only.
+func (blk Block) Data() []byte { return blk.data }
+
+// RebuildBlock reconstitutes a sealed Block from a persisted payload
+// (Data) and point count (Len). The whole payload is decoded once to
+// validate it and to recover the block's time bounds, so a corrupt or
+// truncated payload returns ErrCorruptBlock here rather than surfacing
+// later on the query path.
+func RebuildBlock(data []byte, n int) (Block, error) {
+	if n <= 0 {
+		return Block{}, ErrCorruptBlock
+	}
+	blk := Block{data: data, n: n}
+	it := blk.Iter()
+	first := true
+	for it.Next() {
+		if first {
+			blk.firstNano = it.nano
+			first = false
+		}
+		blk.lastNano = it.nano
+	}
+	if err := it.Err(); err != nil {
+		return Block{}, err
+	}
+	if first {
+		return Block{}, ErrCorruptBlock
+	}
+	return blk, nil
+}
+
 // First returns the first (oldest) timestamp; meaningless when Len is 0.
 func (blk Block) First() time.Time { return time.Unix(0, blk.firstNano) }
 

@@ -72,6 +72,11 @@ type compPoints struct {
 	active   []series.Point
 	n        int
 	evbuf    []series.Point // reusable eviction decode buffer
+	// sealed queues blocks sealed since the last takeSealed — the DB's
+	// seal-hook feed. Fallback (uncompressable) segments never enter it:
+	// strict serving stores cannot produce them, and lenient stores have
+	// no hook.
+	sealed []Block
 }
 
 func newCompPoints(blockLen, capacity int) *compPoints {
@@ -110,6 +115,7 @@ func (c *compPoints) seal() {
 	seg := pointSeg{}
 	if blk, err := EncodeBlock(pts); err == nil {
 		seg.blk = blk
+		c.sealed = append(c.sealed, blk)
 	} else {
 		seg.pts = append([]series.Point(nil), pts...)
 		seg.firstT = pts[0].Time
@@ -117,6 +123,18 @@ func (c *compPoints) seal() {
 	}
 	c.segs = append(c.segs, seg)
 	c.active = c.active[:0]
+}
+
+// takeSealed drains the sealed-block queue. The returned slice is reused
+// by later seals; the caller (the DB, under the shard lock) must consume
+// it before releasing the lock.
+func (c *compPoints) takeSealed() []Block {
+	if len(c.sealed) == 0 {
+		return nil
+	}
+	out := c.sealed
+	c.sealed = c.sealed[:0]
+	return out
 }
 
 // evictOldest decodes and removes the oldest sealed segment, returning

@@ -254,32 +254,38 @@ func (m *memSeries) rawBounds() (oldest, newest time.Time, ok bool) {
 }
 
 // append ingests one point, cascading the evicted oldest raw point into
-// the tiers when the ring is full. Points are expected in time order (the
-// poller's contract); out-of-order points are accepted but may land in an
-// already-open bucket.
-func (m *memSeries) append(p series.Point, rc *RetentionConfig) {
+// the tiers when the ring is full. In lenient mode points are expected in
+// time order (the poller's contract) but out-of-order points are accepted
+// and may land in an already-open bucket; in strict mode an out-of-order
+// or unrepresentable timestamp is rejected and nothing changes.
+func (m *memSeries) append(p series.Point, rc *RetentionConfig, strict bool) error {
+	if strict {
+		if m.haveLast && p.Time.Before(m.lastTime) {
+			return ErrOutOfOrder
+		}
+		if !unixNanoSafe(p.Time) {
+			return ErrTimeRange
+		}
+	}
 	// The gap EWMA only seeds the initial tier grid; once the tiers
-	// exist, retention follows the Nyquist estimates and the hot path
-	// skips the clock arithmetic.
-	if m.tiers == nil {
-		if m.haveLast {
-			if gap := p.Time.Sub(m.lastTime); gap > 0 {
-				if m.gap == 0 {
-					m.gap = gap
-				} else {
-					m.gap += (gap - m.gap) / 8
-				}
+	// exist, retention follows the Nyquist estimates.
+	if m.tiers == nil && m.haveLast {
+		if gap := p.Time.Sub(m.lastTime); gap > 0 {
+			if m.gap == 0 {
+				m.gap = gap
+			} else {
+				m.gap += (gap - m.gap) / 8
 			}
 		}
-		m.lastTime = p.Time
-		m.haveLast = true
 	}
+	m.lastTime = p.Time
+	m.haveLast = true
 	m.appends++
 	if m.raw != nil {
 		if ev, wasEvicted := m.raw.push(p); wasEvicted {
 			m.compact(ev, rc)
 		}
-		return
+		return nil
 	}
 	// Compressed mode evicts a whole sealed block at a time; the points
 	// cascade into the tiers oldest first, exactly as the ring's
@@ -287,6 +293,7 @@ func (m *memSeries) append(p series.Point, rc *RetentionConfig) {
 	for _, ev := range m.craw.push(p) {
 		m.compact(ev, rc)
 	}
+	return nil
 }
 
 // compact cascades one evicted raw point into the first tier (or counts

@@ -1,0 +1,246 @@
+// Export/restore of per-series state: the iteration hooks the durability
+// layer (internal/wal) uses to write block snapshots and to rebuild a
+// store on boot. A SeriesSnapshot is a faithful copy of one memSeries —
+// sealed raw blocks verbatim (they are already the byte-exact,
+// self-delimiting persistence unit), the unsealed active tail as plain
+// points, and every retention tier's finalized buckets plus its open
+// bucket — so restore followed by the same appends is indistinguishable
+// from never having restarted.
+
+package tsdb
+
+import (
+	"time"
+
+	"repro/internal/series"
+)
+
+// SeriesSnapshot is one series' complete retention state, as exported by
+// ExportSeries and accepted by RestoreSeries.
+type SeriesSnapshot struct {
+	// ID is the series id.
+	ID string
+	// NyquistRate is the recorded estimate in hertz (0 = none).
+	NyquistRate float64
+	// Gap is the inter-sample EWMA that seeds tier widths while no
+	// Nyquist estimate exists.
+	Gap time.Duration
+	// LastTime/HaveLast reproduce the strict-append ordering watermark.
+	LastTime time.Time
+	HaveLast bool
+	// Appends, Compacted and Dropped mirror the per-series counters.
+	Appends, Compacted, Dropped int64
+	// Raw holds the sealed raw segments, oldest first (compressed stores
+	// only; uncompressed rings export everything through Active).
+	Raw []RawSegment
+	// Active is the unsealed raw tail (or, for uncompressed stores, the
+	// whole ring), oldest first.
+	Active []series.Point
+	// Tiers describes each downsampled tier, finest first.
+	Tiers []TierSnapshot
+}
+
+// RawSegment is one sealed raw segment: a compressed Block, or — only
+// when the codec had refused the data (timestamps outside the
+// int64-nanosecond range) — a verbatim point slice.
+type RawSegment struct {
+	// Points is the verbatim fallback; nil when Block carries the data.
+	Points []series.Point
+	// Block is the sealed compressed run (valid when Points is nil).
+	Block Block
+}
+
+// TierSnapshot is one retention tier's state.
+type TierSnapshot struct {
+	// Width is the tier's current bucket width.
+	Width time.Duration
+	// Buckets holds the finalized buckets, oldest first.
+	Buckets []BucketSnapshot
+	// Cur is the in-progress bucket, nil when none is open.
+	Cur *BucketSnapshot
+}
+
+// BucketSnapshot is one aggregated bucket.
+type BucketSnapshot struct {
+	Start, End time.Time
+	Min, Max   float64
+	Sum        float64
+	Count      int64
+}
+
+func bucketSnapOf(b bucket) BucketSnapshot {
+	return BucketSnapshot{Start: b.start, End: b.end, Min: b.min, Max: b.max, Sum: b.sum, Count: b.count}
+}
+
+func (bs BucketSnapshot) bucket() bucket {
+	return bucket{start: bs.Start, end: bs.End, min: bs.Min, max: bs.Max, sum: bs.Sum, count: bs.Count}
+}
+
+// ExportSeries calls fn once per stored series with its full retention
+// state. Each shard is read-locked for the duration of its series'
+// exports, so fn should only encode and hand off (writers to that shard
+// stall while it runs); a non-nil error from fn aborts the export.
+// Sealed blocks are exported by reference — Block data is immutable — so
+// exporting does not copy compressed history.
+func (db *DB) ExportSeries(fn func(SeriesSnapshot) error) error {
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for id, m := range sh.series {
+			if err := fn(m.export(id)); err != nil {
+				sh.mu.RUnlock()
+				return err
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return nil
+}
+
+// export builds the snapshot of one series. Caller holds the shard lock.
+func (m *memSeries) export(id string) SeriesSnapshot {
+	s := SeriesSnapshot{
+		ID:          id,
+		NyquistRate: m.nyquist,
+		Gap:         m.gap,
+		LastTime:    m.lastTime,
+		HaveLast:    m.haveLast,
+		Appends:     m.appends,
+		Compacted:   m.compacted,
+		Dropped:     m.dropped,
+	}
+	if m.raw != nil {
+		for i := 0; i < m.raw.size(); i++ {
+			s.Active = append(s.Active, m.raw.at(i))
+		}
+	} else {
+		for i := range m.craw.segs {
+			seg := &m.craw.segs[i]
+			if seg.pts != nil {
+				s.Raw = append(s.Raw, RawSegment{Points: append([]series.Point(nil), seg.pts...)})
+			} else {
+				s.Raw = append(s.Raw, RawSegment{Block: seg.blk})
+			}
+		}
+		s.Active = append([]series.Point(nil), m.craw.active...)
+	}
+	for _, t := range m.tiers {
+		ts := TierSnapshot{Width: t.width}
+		t.each(time.Time{}, time.Time{}, func(b bucket) {
+			ts.Buckets = append(ts.Buckets, bucketSnapOf(b))
+		})
+		if t.curSet {
+			c := bucketSnapOf(t.cur)
+			ts.Cur = &c
+		}
+		s.Tiers = append(s.Tiers, ts)
+	}
+	return s
+}
+
+// RestoreSeries installs an exported series state, replacing any series
+// with the same id. Restore is a boot-time operation: it is safe against
+// concurrent access to other series, but racing appends to the id being
+// restored lose. When the DB's retention config matches the exporting
+// one (the normal restart), the structure is rebuilt verbatim; when the
+// compression mode changed, points are converted through the regular
+// append path, cascading overflow into the (already restored) tiers.
+func (db *DB) RestoreSeries(s SeriesSnapshot) error {
+	rc := &db.cfg.Retention
+	m := newMemSeries(rc)
+	m.nyquist = s.NyquistRate
+	m.gap = s.Gap
+	m.lastTime, m.haveLast = s.LastTime, s.HaveLast
+	m.appends, m.compacted, m.dropped = s.Appends, s.Compacted, s.Dropped
+
+	// Tiers first — deepest first, so any evictions a shallower tier's
+	// restore causes cascade onto already-restored deeper buckets in
+	// time order.
+	if len(s.Tiers) > 0 && rc.Tiers > 0 {
+		m.tiers = make([]*tier, len(s.Tiers))
+		for k := range s.Tiers {
+			m.tiers[k] = newTier(s.Tiers[k].Width, rc)
+		}
+		for k := len(s.Tiers) - 1; k >= 0; k-- {
+			t := m.tiers[k]
+			for _, bs := range s.Tiers[k].Buckets {
+				for _, ev := range t.push(bs.bucket()) {
+					if k+1 < len(m.tiers) {
+						m.ingest(k+1, ev)
+					} else {
+						m.dropped += ev.count
+					}
+				}
+			}
+			if s.Tiers[k].Cur != nil {
+				t.cur = s.Tiers[k].Cur.bucket()
+				t.curSet = true
+			}
+		}
+	}
+
+	if m.craw != nil {
+		for _, seg := range s.Raw {
+			if seg.Points != nil {
+				if len(seg.Points) == 0 {
+					continue
+				}
+				pts := append([]series.Point(nil), seg.Points...)
+				m.craw.segs = append(m.craw.segs, pointSeg{
+					pts:    pts,
+					firstT: pts[0].Time,
+					lastT:  pts[len(pts)-1].Time,
+				})
+				m.craw.n += len(pts)
+			} else {
+				if seg.Block.Len() == 0 {
+					continue
+				}
+				m.craw.segs = append(m.craw.segs, pointSeg{blk: seg.Block})
+				m.craw.n += seg.Block.Len()
+			}
+		}
+		// The active tail re-enters through push so an oversized tail
+		// (smaller block length after a config change) re-seals; blocks
+		// sealed during restore are already covered by the snapshot, so
+		// their hook queue is discarded, not replayed into the WAL.
+		for _, p := range s.Active {
+			for _, ev := range m.craw.push(p) {
+				m.compact(ev, rc)
+			}
+		}
+		m.craw.takeSealed()
+	} else {
+		// Uncompressed ring: decode everything back into points, oldest
+		// first, and let the ring evict/cascade if the capacity shrank.
+		emit := func(p series.Point) {
+			if ev, wasEvicted := m.raw.push(p); wasEvicted {
+				m.compact(ev, rc)
+			}
+		}
+		for _, seg := range s.Raw {
+			if seg.Points != nil {
+				for _, p := range seg.Points {
+					emit(p)
+				}
+				continue
+			}
+			pts, err := seg.Block.Points(nil)
+			if err != nil {
+				return err
+			}
+			for _, p := range pts {
+				emit(p)
+			}
+		}
+		for _, p := range s.Active {
+			emit(p)
+		}
+	}
+
+	sh := db.shardFor(s.ID)
+	sh.mu.Lock()
+	sh.series[s.ID] = m
+	sh.mu.Unlock()
+	return nil
+}

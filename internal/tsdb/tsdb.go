@@ -45,6 +45,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/series"
@@ -60,6 +61,14 @@ type Config struct {
 	Shards int
 	// Retention is the per-series retention policy.
 	Retention RetentionConfig
+	// StrictAppend, when true, makes Append fail instead of tolerate:
+	// a point older than the series' newest accepted sample returns
+	// ErrOutOfOrder, and a timestamp outside the int64-nanosecond range
+	// returns ErrTimeRange. This is the serving-path (and write-ahead
+	// log) contract — "accepted" must mean "landed, in order, and
+	// replayable" — whereas the default lenient mode keeps the library
+	// behavior of absorbing whatever a poller hands it.
+	StrictAppend bool
 }
 
 // RetentionConfig is the per-series multi-resolution retention policy.
@@ -131,7 +140,39 @@ func (c Config) withDefaults() Config {
 type DB struct {
 	cfg    Config
 	shards []shard
+	// sealHook, when set, observes every raw block the moment it is
+	// sealed (see OnSeal).
+	sealHook atomic.Pointer[SealHook]
 }
+
+// SealHook observes one sealed raw block. Hooks run under the owning
+// shard's lock so sealed blocks reach the hook in per-series seal order
+// (the property a write-ahead log needs); they must not call back into
+// the DB and should only hand the block off (e.g. buffer its bytes).
+type SealHook func(id string, blk Block)
+
+// OnSeal installs fn as the seal hook: every raw block sealed from this
+// point on — by appends filling a block, or by SealAll — is passed to
+// fn. Only compressed stores (RetentionConfig.CompressBlock > 0) seal
+// blocks; the hook never fires on uncompressed rings. A nil fn removes
+// the hook.
+func (db *DB) OnSeal(fn SealHook) {
+	if fn == nil {
+		db.sealHook.Store(nil)
+		return
+	}
+	db.sealHook.Store(&fn)
+}
+
+func (db *DB) hook() SealHook {
+	if p := db.sealHook.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Strict reports whether the DB enforces StrictAppend ordering.
+func (db *DB) Strict() bool { return db.cfg.StrictAppend }
 
 type shard struct {
 	mu     sync.RWMutex
@@ -181,24 +222,82 @@ func (sh *shard) getOrCreate(id string, rc *RetentionConfig) *memSeries {
 
 // Append adds one point to the series with the given id, creating the
 // series on first write. Appends never fail for capacity: a full raw ring
-// compacts its oldest point into the retention tiers instead.
-func (db *DB) Append(id string, p series.Point) {
-	sh := db.shardFor(id)
-	sh.mu.Lock()
-	sh.getOrCreate(id, &db.cfg.Retention).append(p, &db.cfg.Retention)
-	sh.mu.Unlock()
-}
-
-// AppendUniform stores every sample of a uniform trace under id, taking
-// the shard lock once for the whole block.
-func (db *DB) AppendUniform(id string, u *series.Uniform) {
+// compacts its oldest point into the retention tiers instead. Under
+// StrictAppend, out-of-order or unrepresentable timestamps are rejected
+// (ErrOutOfOrder / ErrTimeRange) and the point does not land; the
+// default lenient mode always returns nil.
+func (db *DB) Append(id string, p series.Point) error {
 	sh := db.shardFor(id)
 	sh.mu.Lock()
 	m := sh.getOrCreate(id, &db.cfg.Retention)
-	for i, v := range u.Values {
-		m.append(series.Point{Time: u.TimeAt(i), Value: v}, &db.cfg.Retention)
-	}
+	err := m.append(p, &db.cfg.Retention, db.cfg.StrictAppend)
+	db.drainSealed(id, m)
 	sh.mu.Unlock()
+	return err
+}
+
+// AppendUniform stores every sample of a uniform trace under id, taking
+// the shard lock once for the whole block. Under StrictAppend the first
+// rejected sample stops the append and is returned; earlier samples have
+// already landed.
+func (db *DB) AppendUniform(id string, u *series.Uniform) error {
+	sh := db.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	m := sh.getOrCreate(id, &db.cfg.Retention)
+	defer db.drainSealed(id, m)
+	for i, v := range u.Values {
+		if err := m.append(series.Point{Time: u.TimeAt(i), Value: v}, &db.cfg.Retention, db.cfg.StrictAppend); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drainSealed hands any freshly sealed raw blocks to the seal hook.
+// Caller holds the shard lock, which is what serializes hook calls per
+// series.
+func (db *DB) drainSealed(id string, m *memSeries) {
+	if m.craw == nil {
+		return
+	}
+	sealed := m.craw.takeSealed()
+	if len(sealed) == 0 {
+		return
+	}
+	if h := db.hook(); h != nil {
+		for _, blk := range sealed {
+			h(id, blk)
+		}
+	}
+}
+
+// SealAll force-seals every series' active compressed run, firing the
+// seal hook for each block sealed. This is the graceful-shutdown path: a
+// write-ahead log only sees sealed blocks, so sealing the active tails
+// makes them durable before exit. Uncompressed stores have nothing to
+// seal. Returns the number of blocks sealed.
+func (db *DB) SealAll() int {
+	total := 0
+	h := db.hook()
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.Lock()
+		for id, m := range sh.series {
+			if m.craw == nil {
+				continue
+			}
+			m.craw.seal()
+			for _, blk := range m.craw.takeSealed() {
+				total++
+				if h != nil {
+					h(id, blk)
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return total
 }
 
 // SetNyquistRate records the series' estimated Nyquist rate (2·f_max, in

@@ -1,0 +1,612 @@
+// Durable ties the segment log to the serving state: it hooks the
+// store's block sealing into the log, periodically records estimator
+// tuning state, replays everything on boot, and compacts the log behind
+// snapshots. This file is the subsystem's public surface; wal.go owns
+// the bytes.
+
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/series"
+	"repro/internal/tsdb"
+)
+
+// Options parameterizes a Durable store. The zero value is serving-safe.
+type Options struct {
+	// FsyncEvery is the group-commit window (see LogOptions.FsyncEvery):
+	// zero selects 10ms, negative syncs every append.
+	FsyncEvery time.Duration
+	// SegmentBytes rotates segments at this size; zero selects 64 MiB.
+	SegmentBytes int64
+	// SnapshotEvery is the background compactor's cadence; zero selects
+	// 60s, negative disables automatic snapshots (Snapshot can still be
+	// called manually).
+	SnapshotEvery time.Duration
+	// SnapshotMinBytes skips a compaction round when fewer WAL bytes
+	// accumulated since the last snapshot; zero selects 1 MiB.
+	SnapshotMinBytes int64
+	// StateEvery is the estimator tuning-state record cadence; zero
+	// selects 15s, negative disables periodic state records (they are
+	// still written on Close and captured by snapshots).
+	StateEvery time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = 60 * time.Second
+	}
+	if o.SnapshotMinBytes <= 0 {
+		o.SnapshotMinBytes = 1 << 20
+	}
+	if o.StateEvery == 0 {
+		o.StateEvery = 15 * time.Second
+	}
+	return o
+}
+
+// ReplayInfo summarizes what boot recovery did.
+type ReplayInfo struct {
+	// SnapshotLoaded reports a valid snapshot was restored (and Seq its
+	// index).
+	SnapshotLoaded bool
+	SnapshotSeq    uint64
+	// Segments is the number of segment files replayed.
+	Segments int
+	// Records counts intact records applied across those segments.
+	Records int64
+	// Points counts points appended into the store from block records.
+	Points int64
+	// SkippedPoints counts replayed points the store rejected as
+	// duplicates of snapshot-covered data (the snapshot-boundary
+	// overlap) or as out of order.
+	SkippedPoints int64
+	// Series is the number of series in the store after recovery.
+	Series int
+	// EstimatorStates is the number of estimator tuning states restored.
+	EstimatorStates int
+	// TornTail reports replay stopped at a torn or corrupt record — the
+	// normal shape after a crash (the tail past the last group commit).
+	TornTail bool
+	// Duration is the wall time recovery took.
+	Duration time.Duration
+}
+
+// Stats is the durability subsystem's operator view.
+type Stats struct {
+	Dir string
+	Log LogStats
+	// Snapshots counts snapshots taken this session; LastSnapshot
+	// stamps the newest (zero when none yet). SnapshotErrors counts
+	// failed snapshot attempts — like Log.Errors, a non-zero value
+	// means durability is degraded while serving continues.
+	Snapshots      int64
+	SnapshotErrors int64
+	LastSnapshot   time.Time
+	// SnapshotSeries is the series count in the newest snapshot.
+	SnapshotSeries int
+	// Replay describes boot recovery.
+	Replay ReplayInfo
+}
+
+// Durable is a restart-safe wrapper around the serving pair: it makes
+// the store's sealed blocks and the estimator's tuning state durable,
+// and rebuilds both on Open.
+type Durable struct {
+	dir   string
+	opts  Options
+	store *monitor.Store
+	est   *monitor.IngestEstimator
+	log   *Log
+
+	replay ReplayInfo
+
+	mu             sync.Mutex // serializes snapshots and state sweeps
+	snapshots      int64
+	snapshotErrs   int64
+	lastSnapshot   time.Time
+	snapshotSeries int
+	bytesAtSnap    int64
+	lastState      map[string]stateRec
+	// pendingStates carries snapshot-loaded estimator states from
+	// loadSnapshot to recover, which applies them (WAL records may
+	// override) with rewarm-adjusted sample counts.
+	pendingStates map[string]stateRec
+
+	stopc chan struct{}
+	donec chan struct{}
+}
+
+// Open recovers the durable state in dir into store and est, then
+// arms the write path: sealed blocks and estimator state flow into the
+// log from the moment Open returns. The store must have been built with
+// tsdb.Config.StrictAppend — replay relies on the strict-order contract
+// to skip snapshot-boundary duplicates — and with CompressBlock > 0,
+// since only sealed compressed blocks are logged. The store and
+// estimator must not receive traffic until Open returns.
+func Open(dir string, store *monitor.Store, est *monitor.IngestEstimator, opts Options) (*Durable, error) {
+	if store == nil || est == nil {
+		return nil, errors.New("wal: Open needs a store and an ingest estimator")
+	}
+	if !store.DB().Strict() {
+		return nil, errors.New("wal: durability requires a strict-append store (tsdb.Config.StrictAppend)")
+	}
+	if store.DB().Retention().CompressBlock <= 0 {
+		return nil, errors.New("wal: durability requires compressed blocks (RetentionConfig.CompressBlock > 0)")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	d := &Durable{
+		dir:       dir,
+		opts:      opts.withDefaults(),
+		store:     store,
+		est:       est,
+		lastState: make(map[string]stateRec),
+		stopc:     make(chan struct{}),
+		donec:     make(chan struct{}),
+	}
+	if err := d.recover(); err != nil {
+		return nil, err
+	}
+	log, err := openLog(dir, LogOptions{FsyncEvery: d.opts.FsyncEvery, SegmentBytes: d.opts.SegmentBytes})
+	if err != nil {
+		return nil, err
+	}
+	d.log = log
+	d.bytesAtSnap = log.Stats().Bytes
+	store.DB().OnSeal(func(id string, blk tsdb.Block) {
+		e := enc{}
+		encodeBlockRec(&e, blockRec{id: id, blk: blk})
+		_ = d.log.Append(recBlock, e.b)
+	})
+	go d.background()
+	return d, nil
+}
+
+// Replay returns what boot recovery did.
+func (d *Durable) Replay() ReplayInfo { return d.replay }
+
+// Store and Estimator expose the wrapped serving pair.
+func (d *Durable) Store() *monitor.Store               { return d.store }
+func (d *Durable) Estimator() *monitor.IngestEstimator { return d.est }
+
+// recover loads the newest valid snapshot and replays the segments past
+// it, then rewarms the estimator windows from the newest stored points.
+func (d *Durable) recover() error {
+	begin := time.Now()
+	info := &d.replay
+
+	fromSeg := uint64(0)
+	// watermark maps snapshot-restored series to their newest captured
+	// timestamp. The segment after the snapshot boundary can re-log a
+	// block that straddles it (the active tail at snapshot time plus
+	// newer points); points at or before the watermark are
+	// snapshot-covered duplicates and must not re-land. The cost is
+	// that an equal-timestamped duplicate pair straddling the boundary
+	// deduplicates on replay — the lesser evil against double-counting
+	// every boundary point.
+	watermark := map[string]time.Time{}
+	if snaps, err := listSnapshots(d.dir); err == nil {
+		for i := len(snaps) - 1; i >= 0; i-- {
+			h, ok, err := d.loadSnapshot(snaps[i], watermark)
+			if err != nil {
+				return err
+			}
+			if ok {
+				info.SnapshotLoaded = true
+				info.SnapshotSeq = snaps[i]
+				fromSeg = h.nextSeg
+				break
+			}
+		}
+	} else {
+		return err
+	}
+
+	segs, err := listSegments(d.dir)
+	if err != nil {
+		return err
+	}
+	// Latest state record per series wins — WAL records over snapshot
+	// ones — applied after the store replay so the estimator sees the
+	// final tuning.
+	states := d.pendingStates
+	d.pendingStates = nil
+	if states == nil {
+		states = map[string]stateRec{}
+	}
+	for _, idx := range segs {
+		if idx < fromSeg {
+			continue
+		}
+		records, torn, err := replayFile(filepath.Join(d.dir, segName(idx)), segMagic, func(typ byte, payload []byte) error {
+			switch typ {
+			case recBlock:
+				r, err := decodeBlockRec(payload)
+				if err != nil {
+					return err
+				}
+				pts, err := r.blk.Points(nil)
+				if err != nil {
+					return err
+				}
+				w, hasW := watermark[r.id]
+				for _, p := range pts {
+					if hasW && !p.Time.After(w) {
+						info.SkippedPoints++
+						continue
+					}
+					if err := d.store.Append(r.id, p); err != nil {
+						info.SkippedPoints++
+						continue
+					}
+					info.Points++
+				}
+			case recState:
+				r, err := decodeStateRec(payload)
+				if err != nil {
+					return err
+				}
+				states[r.st.Series] = r
+			}
+			// Unknown record types are skipped: a newer writer's records
+			// must not brick an older reader.
+			return nil
+		})
+		info.Records += records
+		info.Segments++
+		if torn {
+			info.TornTail = true
+		}
+		if err != nil {
+			return fmt.Errorf("wal: replaying %s: %w", segName(idx), err)
+		}
+	}
+	// Rewarm plan: the newest ~window stored points of every recovered
+	// series are re-fed through Observe so estimates (and the retune
+	// debounce) pick up where the crashed process left off instead of
+	// starting cold. Tails are computed BEFORE states are applied so
+	// each restored Samples counter can be reduced by the points about
+	// to be re-observed — otherwise every restart would inflate the
+	// per-series sample count by up to a window.
+	tails := d.rewarmTails()
+	for _, r := range states {
+		st := r.st
+		if fed := int64(len(tails[st.Series])); fed > 0 {
+			if st.Samples > fed {
+				st.Samples -= fed
+			} else {
+				st.Samples = 0
+			}
+		}
+		if d.est.RestoreState(st) {
+			info.EstimatorStates++
+		}
+		if r.retentionHz > 0 {
+			d.store.SetNyquist(st.Series, r.retentionHz)
+		}
+		d.lastState[st.Series] = r
+	}
+	for id, pts := range tails {
+		for _, p := range pts {
+			if !d.est.Observe(id, p) {
+				break // MaxSeries cap: stop burning work on this id
+			}
+		}
+	}
+	info.Series = len(d.store.IDs())
+	info.Duration = time.Since(begin)
+	return nil
+}
+
+// rewarmTails returns, per recovered series, the newest stored points
+// to re-feed through the estimator: enough to fill a window and cross
+// the retune debounce. Series without restored tuning state re-probe
+// their interval from the same tail.
+func (d *Durable) rewarmTails() map[string][]series.Point {
+	cfg := d.est.Config()
+	want := cfg.WindowSamples + cfg.EmitEvery*(cfg.RetuneCleanStreak+2)
+	tails := map[string][]series.Point{}
+	for _, id := range d.store.IDs() {
+		res, err := d.store.QueryRange(id, time.Time{}, time.Time{}, 0)
+		if err != nil || len(res.Points) == 0 {
+			continue
+		}
+		pts := res.Points
+		if len(pts) > want {
+			pts = pts[len(pts)-want:]
+		}
+		tails[id] = pts
+	}
+	return tails
+}
+
+// loadSnapshot parses and applies snapshot idx, recording each restored
+// series' newest timestamp in watermark. A snapshot missing its footer
+// (or failing any record CRC) is reported invalid, not an error: the
+// caller falls back to the previous one. The whole file is decoded
+// before anything is applied, so a half-written snapshot never leaves a
+// half-restored store.
+func (d *Durable) loadSnapshot(idx uint64, watermark map[string]time.Time) (snapHeader, bool, error) {
+	var (
+		header   snapHeader
+		haveHdr  bool
+		seriesS  []tsdb.SeriesSnapshot
+		statesS  []stateRec
+		footer   *snapFooter
+		parseErr error
+	)
+	_, torn, err := replayFile(filepath.Join(d.dir, snapName(idx)), snapMagic, func(typ byte, payload []byte) error {
+		switch typ {
+		case recSnapHeader:
+			h, err := decodeSnapHeader(payload)
+			if err != nil {
+				parseErr = err
+				return err
+			}
+			header, haveHdr = h, true
+		case recSnapSeries:
+			s, err := decodeSeriesSnap(payload)
+			if err != nil {
+				parseErr = err
+				return err
+			}
+			seriesS = append(seriesS, s)
+		case recSnapState:
+			r, err := decodeStateRec(payload)
+			if err != nil {
+				parseErr = err
+				return err
+			}
+			statesS = append(statesS, r)
+		case recSnapFooter:
+			f, err := decodeSnapFooter(payload)
+			if err != nil {
+				parseErr = err
+				return err
+			}
+			footer = &f
+		}
+		return nil
+	})
+	if err != nil && parseErr == nil {
+		return snapHeader{}, false, err
+	}
+	if parseErr != nil || torn || !haveHdr || footer == nil ||
+		footer.series != uint64(len(seriesS)) || footer.states != uint64(len(statesS)) {
+		return snapHeader{}, false, nil // incomplete snapshot: fall back
+	}
+	for _, s := range seriesS {
+		if err := d.store.DB().RestoreSeries(s); err != nil {
+			return snapHeader{}, false, err
+		}
+		if s.HaveLast {
+			watermark[s.ID] = s.LastTime
+		}
+	}
+	// Estimator states are not applied here: recover() merges them with
+	// any newer WAL state records and applies the winners once, with
+	// sample counts adjusted for the rewarm feed.
+	if d.pendingStates == nil {
+		d.pendingStates = make(map[string]stateRec, len(statesS))
+	}
+	for _, r := range statesS {
+		d.pendingStates[r.st.Series] = r
+	}
+	return header, true, nil
+}
+
+// Sync forces a group commit.
+func (d *Durable) Sync() error { return d.log.Sync() }
+
+// Snapshot writes a full block snapshot and compacts the log: rotate the
+// live segment (the snapshot boundary), export every series and the
+// estimator state to a temp file, fsync+rename it into place, then
+// delete the covered segments and older snapshots. Ingest continues
+// throughout — the store is export-locked one shard at a time — and a
+// crash mid-snapshot is safe at every step (the half-written temp or
+// footer-less file is ignored on the next boot).
+func (d *Durable) Snapshot() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.snapshotLocked()
+}
+
+func (d *Durable) snapshotLocked() error {
+	nextSeg, err := d.log.Rotate()
+	if err != nil {
+		return err
+	}
+	seq := nextSeg
+	tmp := filepath.Join(d.dir, fmt.Sprintf("snap-%08d.tmp", seq))
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp) // no-op after the rename
+	w := bufio.NewWriterSize(f, 1<<20)
+	if _, err := w.WriteString(snapMagic); err != nil {
+		f.Close()
+		return err
+	}
+	writeRec := func(typ byte, e *enc) error { return frame(w, typ, e.b) }
+
+	e := &enc{}
+	encodeSnapHeader(e, snapHeader{version: 1, nextSeg: nextSeg})
+	if err := writeRec(recSnapHeader, e); err != nil {
+		f.Close()
+		return err
+	}
+	nSeries := uint64(0)
+	err = d.store.DB().ExportSeries(func(s tsdb.SeriesSnapshot) error {
+		nSeries++
+		e := &enc{}
+		encodeSeriesSnap(e, s)
+		return writeRec(recSnapSeries, e)
+	})
+	if err != nil {
+		f.Close()
+		return err
+	}
+	states := d.est.ExportState()
+	for _, st := range states {
+		e := &enc{}
+		r := stateRec{st: st, retentionHz: d.store.NyquistRate(st.Series)}
+		encodeStateRec(e, r)
+		if err := writeRec(recSnapState, e); err != nil {
+			f.Close()
+			return err
+		}
+		d.lastState[st.Series] = r
+	}
+	e = &enc{}
+	encodeSnapFooter(e, snapFooter{series: nSeries, states: uint64(len(states))})
+	if err := writeRec(recSnapFooter, e); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	final := filepath.Join(d.dir, snapName(seq))
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	syncDir(d.dir)
+
+	// Compaction: everything before the boundary is now covered.
+	if err := d.log.RemoveBefore(nextSeg); err != nil {
+		return err
+	}
+	if snaps, err := listSnapshots(d.dir); err == nil {
+		for _, idx := range snaps {
+			if idx < seq {
+				_ = os.Remove(filepath.Join(d.dir, snapName(idx)))
+			}
+		}
+	}
+	d.snapshots++
+	d.lastSnapshot = time.Now()
+	d.snapshotSeries = int(nSeries)
+	d.bytesAtSnap = d.log.Stats().Bytes
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's dirent is durable.
+func syncDir(dir string) {
+	if f, err := os.Open(dir); err == nil {
+		_ = f.Sync()
+		f.Close()
+	}
+}
+
+// writeStates appends a state record for every series whose tuning
+// changed since the last sweep.
+func (d *Durable) writeStates() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, st := range d.est.ExportState() {
+		r := stateRec{st: st, retentionHz: d.store.NyquistRate(st.Series)}
+		if prev, ok := d.lastState[st.Series]; ok && prev == r {
+			continue
+		}
+		e := enc{}
+		encodeStateRec(&e, r)
+		if err := d.log.Append(recState, e.b); err != nil {
+			return
+		}
+		d.lastState[st.Series] = r
+	}
+}
+
+func (d *Durable) background() {
+	defer close(d.donec)
+	stateEvery := d.opts.StateEvery
+	snapEvery := d.opts.SnapshotEvery
+	var statec, snapc <-chan time.Time
+	if stateEvery > 0 {
+		t := time.NewTicker(stateEvery)
+		defer t.Stop()
+		statec = t.C
+	}
+	if snapEvery > 0 {
+		t := time.NewTicker(snapEvery)
+		defer t.Stop()
+		snapc = t.C
+	}
+	for {
+		select {
+		case <-d.stopc:
+			return
+		case <-statec:
+			d.writeStates()
+		case <-snapc:
+			d.mu.Lock()
+			grown := d.log.Stats().Bytes-d.bytesAtSnap >= d.opts.SnapshotMinBytes
+			if grown {
+				if err := d.snapshotLocked(); err != nil {
+					d.snapshotErrs++
+					fmt.Fprintf(os.Stderr, "wal: background snapshot failed: %v\n", err)
+				}
+			}
+			d.mu.Unlock()
+		}
+	}
+}
+
+// Close makes the remaining state durable and stops the subsystem: the
+// stores' active tails are force-sealed into the log, a final state
+// sweep is written, and the log is committed and closed. The seal hook
+// is detached, so the store outlives Close safely (writes just stop
+// being durable).
+func (d *Durable) Close() error {
+	close(d.stopc)
+	<-d.donec
+	d.store.SealActive()
+	d.writeStates()
+	err := d.log.Close()
+	d.store.DB().OnSeal(nil)
+	return err
+}
+
+// abort is the crash simulation used by tests: drop everything since
+// the last group commit and stop, with no seal, no state sweep and no
+// flush.
+func (d *Durable) abort() {
+	close(d.stopc)
+	<-d.donec
+	d.store.DB().OnSeal(nil)
+	d.log.abort()
+}
+
+// Stats reports the subsystem's operator view.
+func (d *Durable) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Stats{
+		Dir:            d.dir,
+		Log:            d.log.Stats(),
+		Snapshots:      d.snapshots,
+		SnapshotErrors: d.snapshotErrs,
+		LastSnapshot:   d.lastSnapshot,
+		SnapshotSeries: d.snapshotSeries,
+		Replay:         d.replay,
+	}
+}

@@ -1,0 +1,252 @@
+// Encoding of the individual record payloads: sealed-block and
+// estimator-state records for the segment log, and the per-series
+// retention snapshot records. Framing and integrity live in wal.go.
+
+package wal
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/series"
+	"repro/internal/tsdb"
+)
+
+// blockRec is one sealed raw block of one series.
+type blockRec struct {
+	id  string
+	blk tsdb.Block
+}
+
+func encodeBlockRec(e *enc, r blockRec) {
+	e.str(r.id)
+	e.uvarint(uint64(r.blk.Len()))
+	e.bytes(r.blk.Data())
+}
+
+// decodeBlockRec rebuilds the block, copying its payload out of the
+// replay buffer (the buffer is reused record to record, but a rebuilt
+// Block retains its data slice for the life of the store).
+func decodeBlockRec(payload []byte) (blockRec, error) {
+	d := dec{b: payload}
+	id := d.str()
+	n := int(d.uvarint())
+	data := append([]byte(nil), d.bytes()...)
+	if err := d.err(); err != nil {
+		return blockRec{}, err
+	}
+	blk, err := tsdb.RebuildBlock(data, n)
+	if err != nil {
+		return blockRec{}, fmt.Errorf("block record for %q: %w", id, err)
+	}
+	return blockRec{id: id, blk: blk}, nil
+}
+
+// stateRec is one series' estimator tuning state plus the retention
+// rate the store is currently tuned to.
+type stateRec struct {
+	st          monitor.IngestSeriesState
+	retentionHz float64
+}
+
+func encodeStateRec(e *enc, r stateRec) {
+	e.str(r.st.Series)
+	e.varint(int64(r.st.Interval))
+	e.varint(r.st.Samples)
+	e.varint(int64(r.st.Reprobes))
+	e.f64(r.st.NyquistRate)
+	e.varint(int64(r.st.CleanStreak))
+	e.f64(r.retentionHz)
+}
+
+func decodeStateRec(payload []byte) (stateRec, error) {
+	d := dec{b: payload}
+	r := stateRec{}
+	r.st.Series = d.str()
+	r.st.Interval = d.duration()
+	r.st.Samples = d.varint()
+	r.st.Reprobes = int(d.varint())
+	r.st.NyquistRate = d.f64()
+	r.st.CleanStreak = int(d.varint())
+	r.retentionHz = d.f64()
+	return r, d.err()
+}
+
+// encodeSeriesSnap writes one tsdb.SeriesSnapshot.
+func encodeSeriesSnap(e *enc, s tsdb.SeriesSnapshot) {
+	e.str(s.ID)
+	e.f64(s.NyquistRate)
+	e.varint(int64(s.Gap))
+	e.bool(s.HaveLast)
+	if s.HaveLast {
+		e.nanos(s.LastTime)
+	}
+	e.varint(s.Appends)
+	e.varint(s.Compacted)
+	e.varint(s.Dropped)
+	e.uvarint(uint64(len(s.Raw)))
+	for _, seg := range s.Raw {
+		if seg.Points != nil {
+			e.bool(false)
+			encodePoints(e, seg.Points)
+		} else {
+			e.bool(true)
+			e.uvarint(uint64(seg.Block.Len()))
+			e.bytes(seg.Block.Data())
+		}
+	}
+	encodePoints(e, s.Active)
+	e.uvarint(uint64(len(s.Tiers)))
+	for _, t := range s.Tiers {
+		e.varint(int64(t.Width))
+		e.uvarint(uint64(len(t.Buckets)))
+		for _, b := range t.Buckets {
+			encodeBucket(e, b)
+		}
+		e.bool(t.Cur != nil)
+		if t.Cur != nil {
+			encodeBucket(e, *t.Cur)
+		}
+	}
+}
+
+func decodeSeriesSnap(payload []byte) (tsdb.SeriesSnapshot, error) {
+	d := dec{b: payload}
+	s := tsdb.SeriesSnapshot{}
+	s.ID = d.str()
+	s.NyquistRate = d.f64()
+	s.Gap = d.duration()
+	s.HaveLast = d.bool()
+	if s.HaveLast {
+		s.LastTime = d.nanos()
+	}
+	s.Appends = d.varint()
+	s.Compacted = d.varint()
+	s.Dropped = d.varint()
+	nRaw := int(d.uvarint())
+	for i := 0; i < nRaw && d.err() == nil; i++ {
+		if d.bool() {
+			n := int(d.uvarint())
+			data := append([]byte(nil), d.bytes()...)
+			if d.err() != nil {
+				break
+			}
+			blk, err := tsdb.RebuildBlock(data, n)
+			if err != nil {
+				return s, fmt.Errorf("snapshot series %q: %w", s.ID, err)
+			}
+			s.Raw = append(s.Raw, tsdb.RawSegment{Block: blk})
+		} else {
+			pts := decodePoints(&d)
+			s.Raw = append(s.Raw, tsdb.RawSegment{Points: pts})
+		}
+	}
+	s.Active = decodePoints(&d)
+	nTiers := int(d.uvarint())
+	for k := 0; k < nTiers && d.err() == nil; k++ {
+		t := tsdb.TierSnapshot{Width: d.duration()}
+		nb := int(d.uvarint())
+		for i := 0; i < nb && d.err() == nil; i++ {
+			t.Buckets = append(t.Buckets, decodeBucket(&d))
+		}
+		if d.bool() {
+			b := decodeBucket(&d)
+			t.Cur = &b
+		}
+		s.Tiers = append(s.Tiers, t)
+	}
+	return s, d.err()
+}
+
+// encodePoints writes a point slice with delta-coded nanos (snapshot
+// active tails are small; this is compactness without another codec).
+func encodePoints(e *enc, pts []series.Point) {
+	e.uvarint(uint64(len(pts)))
+	prev := int64(0)
+	for i, p := range pts {
+		n := p.Time.UnixNano()
+		if i == 0 {
+			e.varint(n)
+		} else {
+			e.varint(n - prev)
+		}
+		prev = n
+		e.f64(p.Value)
+	}
+}
+
+func decodePoints(d *dec) []series.Point {
+	n := int(d.uvarint())
+	if n == 0 || d.err() != nil {
+		return nil
+	}
+	out := make([]series.Point, 0, n)
+	nano := int64(0)
+	for i := 0; i < n && d.err() == nil; i++ {
+		if i == 0 {
+			nano = d.varint()
+		} else {
+			nano += d.varint()
+		}
+		out = append(out, series.Point{Time: time.Unix(0, nano), Value: d.f64()})
+	}
+	return out
+}
+
+func encodeBucket(e *enc, b tsdb.BucketSnapshot) {
+	e.nanos(b.Start)
+	e.varint(b.End.UnixNano() - b.Start.UnixNano())
+	e.f64(b.Min)
+	e.f64(b.Max)
+	e.f64(b.Sum)
+	e.varint(b.Count)
+}
+
+func decodeBucket(d *dec) tsdb.BucketSnapshot {
+	b := tsdb.BucketSnapshot{}
+	b.Start = d.nanos()
+	b.End = b.Start.Add(d.duration())
+	b.Min = d.f64()
+	b.Max = d.f64()
+	b.Sum = d.f64()
+	b.Count = d.varint()
+	return b
+}
+
+// snapHeader opens a snapshot file.
+type snapHeader struct {
+	version uint64
+	// nextSeg is the first segment index NOT covered by the snapshot:
+	// replay resumes there.
+	nextSeg uint64
+}
+
+func encodeSnapHeader(e *enc, h snapHeader) {
+	e.uvarint(h.version)
+	e.uvarint(h.nextSeg)
+}
+
+func decodeSnapHeader(payload []byte) (snapHeader, error) {
+	d := dec{b: payload}
+	h := snapHeader{version: d.uvarint(), nextSeg: d.uvarint()}
+	return h, d.err()
+}
+
+// snapFooter closes a snapshot file; its presence (with matching
+// counts) proves the snapshot was written to completion.
+type snapFooter struct {
+	series uint64
+	states uint64
+}
+
+func encodeSnapFooter(e *enc, f snapFooter) {
+	e.uvarint(f.series)
+	e.uvarint(f.states)
+}
+
+func decodeSnapFooter(payload []byte) (snapFooter, error) {
+	d := dec{b: payload}
+	f := snapFooter{series: d.uvarint(), states: d.uvarint()}
+	return f, d.err()
+}

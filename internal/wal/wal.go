@@ -1,0 +1,508 @@
+// Package wal is the durability leg of the serving pipeline: a
+// write-ahead log plus block snapshots that make nyquistd restart-safe.
+// Everything the store and the estimate-on-ingest hook hold lives in
+// memory; without this package a restart silently discards exactly the
+// long-horizon history the paper's estimate→retain loop exists to
+// preserve.
+//
+// The design leans on a property the storage engine already has: the
+// compressed tsdb.Block is a byte-exact, self-delimiting unit. The log
+// therefore never records individual points — it records sealed blocks
+// (via the store's seal hook) plus periodic per-series tuning state
+// (locked poll interval, trusted Nyquist rate), framed as
+// length-prefixed, CRC-32C-checked records in numbered segment files.
+// Appends land in a buffered writer and a group-commit flusher fsyncs
+// on a fixed cadence, so the ingest hot path never waits on the disk;
+// the durability window is the fsync interval plus the unsealed tail of
+// each series' active block.
+//
+// On boot the Durable layer loads the newest valid snapshot, replays
+// every later segment into the store (out-of-order duplicates from the
+// snapshot boundary are skipped by the store's strict-append contract),
+// restores estimator tuning state, and rewarms the estimator windows
+// from the newest stored points. A background compactor periodically
+// writes a new snapshot — the full store exported series by series,
+// sealed blocks verbatim — and deletes the segments it covers, bounding
+// both replay time and disk use.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Record types. Segment files hold block/state records; snapshot files
+// hold the snap* types.
+const (
+	recBlock      byte = 1 // one sealed raw block of one series
+	recState      byte = 2 // one series' estimator/retention tuning state
+	recSnapHeader byte = 3 // snapshot header: format version + next segment
+	recSnapSeries byte = 4 // one series' full retention state
+	recSnapState  byte = 5 // one series' estimator tuning state
+	recSnapFooter byte = 6 // snapshot footer: record counts (completeness proof)
+)
+
+const (
+	segMagic  = "NYQWAL1\n"
+	snapMagic = "NYQSNP1\n"
+	// maxRecordBytes bounds one record so replay of a corrupt length
+	// prefix cannot attempt an absurd allocation.
+	maxRecordBytes = 64 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt is returned when a segment or snapshot record fails its
+// CRC or decodes to an impossible shape.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// LogOptions parameterizes a segment log.
+type LogOptions struct {
+	// FsyncEvery is the group-commit window: how often the background
+	// flusher pushes buffered records to disk and fsyncs. Zero selects
+	// 10ms; negative syncs synchronously on every append (the paranoid
+	// configuration — every accepted record is durable before the next).
+	FsyncEvery time.Duration
+	// SegmentBytes rotates the live segment once it exceeds this size;
+	// zero selects 64 MiB.
+	SegmentBytes int64
+}
+
+func (o LogOptions) withDefaults() LogOptions {
+	if o.FsyncEvery == 0 {
+		o.FsyncEvery = 10 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	return o
+}
+
+// LogStats is the log's operator view.
+type LogStats struct {
+	// Segments is the number of live segment files (including current).
+	Segments int
+	// Bytes is the total size of the live segment files, counting
+	// records not yet flushed.
+	Bytes int64
+	// Records counts records appended this session.
+	Records int64
+	// Syncs counts fsyncs issued this session.
+	Syncs int64
+	// Errors counts failed appends, syncs and rotations this session —
+	// a non-zero value means durability is degraded (disk full, EIO)
+	// even though ingest keeps serving; LastError is the most recent
+	// failure. Surfaced through /api/v1/stats so the condition is
+	// visible before a crash makes it fatal.
+	Errors    int64
+	LastError string
+}
+
+// Log is an append-only segment log. Appends are safe for concurrent
+// use; one background flusher provides the group commit.
+type Log struct {
+	dir  string
+	opts LogOptions
+
+	mu       sync.Mutex
+	f        *os.File
+	w        *bufio.Writer
+	seg      uint64 // current segment index
+	segBytes int64  // bytes written to the current segment
+	oldBytes int64  // bytes in older (already sealed) live segments
+	segCount int
+	dirty    bool
+	records  int64
+	syncs    int64
+	errors   int64
+	lastErr  string
+	closed   bool
+
+	stopc chan struct{}
+	donec chan struct{}
+}
+
+func segName(idx uint64) string  { return fmt.Sprintf("seg-%08d.wal", idx) }
+func snapName(idx uint64) string { return fmt.Sprintf("snap-%08d.snap", idx) }
+
+// listSegments returns the segment indices present in dir, sorted.
+func listSegments(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, e := range ents {
+		var idx uint64
+		if n, _ := fmt.Sscanf(e.Name(), "seg-%d.wal", &idx); n == 1 && e.Name() == segName(idx) {
+			out = append(out, idx)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out, nil
+}
+
+// listSnapshots returns the snapshot indices present in dir, sorted.
+func listSnapshots(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, e := range ents {
+		var idx uint64
+		if n, _ := fmt.Sscanf(e.Name(), "snap-%d.snap", &idx); n == 1 && e.Name() == snapName(idx) {
+			out = append(out, idx)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out, nil
+}
+
+// openLog opens dir for appending: existing segments are left untouched
+// (boot replays them; compaction deletes them) and a fresh segment one
+// past the newest becomes the append target.
+func openLog(dir string, opts LogOptions) (*Log, error) {
+	opts = opts.withDefaults()
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	next := uint64(1)
+	var oldBytes int64
+	for _, idx := range segs {
+		if idx >= next {
+			next = idx + 1
+		}
+		if fi, err := os.Stat(filepath.Join(dir, segName(idx))); err == nil {
+			oldBytes += fi.Size()
+		}
+	}
+	l := &Log{
+		dir:      dir,
+		opts:     opts,
+		seg:      next,
+		oldBytes: oldBytes,
+		segCount: len(segs) + 1,
+		stopc:    make(chan struct{}),
+		donec:    make(chan struct{}),
+	}
+	if err := l.openSegment(next); err != nil {
+		return nil, err
+	}
+	go l.flushLoop()
+	return l, nil
+}
+
+// openSegment creates and syncs segment idx as the append target.
+// Caller holds mu (or is the constructor).
+func (l *Log) openSegment(idx uint64) error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(idx)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if _, err := w.WriteString(segMagic); err != nil {
+		f.Close()
+		return err
+	}
+	l.f, l.w = f, w
+	l.seg = idx
+	l.segBytes = int64(len(segMagic))
+	l.dirty = true
+	return nil
+}
+
+// frame appends one framed record to w: u32le payload length, type
+// byte, payload, u32le CRC-32C over type+payload.
+func frame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	crc := crc32.Update(crc32.Checksum(hdr[4:5], crcTable), crcTable, payload)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	_, err := w.Write(tail[:])
+	return err
+}
+
+func frameSize(payload []byte) int64 { return int64(len(payload)) + 9 }
+
+// Append frames one record into the live segment. With a non-negative
+// FsyncEvery the write is buffered and becomes durable at the next
+// group commit — no file I/O happens on the caller's path (size-based
+// rotation runs in the flusher), so a seal hook calling Append under a
+// shard lock only pays a mutex and a buffer copy. A negative FsyncEvery
+// syncs (and rotates, when due) before returning. Failures are counted
+// in LogStats.Errors as well as returned.
+func (l *Log) Append(typ byte, payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return os.ErrClosed
+	}
+	if err := frame(l.w, typ, payload); err != nil {
+		return l.noteErr(err)
+	}
+	l.segBytes += frameSize(payload)
+	l.records++
+	l.dirty = true
+	if l.opts.FsyncEvery < 0 {
+		if l.segBytes >= l.opts.SegmentBytes {
+			if _, err := l.rotateLocked(); err != nil {
+				return l.noteErr(err)
+			}
+			return nil
+		}
+		if err := l.syncLocked(); err != nil {
+			return l.noteErr(err)
+		}
+	}
+	return nil
+}
+
+// noteErr records a durability failure in the stats. Caller holds mu.
+func (l *Log) noteErr(err error) error {
+	if err != nil {
+		l.errors++
+		l.lastErr = err.Error()
+	}
+	return err
+}
+
+// syncLocked flushes the buffer and fsyncs. Caller holds mu.
+func (l *Log) syncLocked() error {
+	if !l.dirty {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.dirty = false
+	l.syncs++
+	return nil
+}
+
+// Sync forces a group commit: everything appended so far is durable
+// when it returns.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return os.ErrClosed
+	}
+	return l.syncLocked()
+}
+
+// rotateLocked seals the current segment (flush, fsync, close) and
+// opens the next one. Returns the new current segment index. Caller
+// holds mu.
+func (l *Log) rotateLocked() (uint64, error) {
+	if err := l.syncLocked(); err != nil {
+		return 0, err
+	}
+	if err := l.f.Close(); err != nil {
+		return 0, err
+	}
+	l.oldBytes += l.segBytes
+	l.segCount++
+	if err := l.openSegment(l.seg + 1); err != nil {
+		return 0, err
+	}
+	return l.seg, nil
+}
+
+// Rotate seals the current segment and starts a new one, returning the
+// new segment's index: records appended after Rotate land in segments ≥
+// the returned index, which is the snapshot boundary contract.
+func (l *Log) Rotate() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, os.ErrClosed
+	}
+	return l.rotateLocked()
+}
+
+// RemoveBefore deletes segment files with index < seg — the compaction
+// step after a successful snapshot covering them.
+func (l *Log) RemoveBefore(seg uint64) error {
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, idx := range segs {
+		if idx >= seg {
+			continue
+		}
+		path := filepath.Join(l.dir, segName(idx))
+		var size int64
+		if fi, err := os.Stat(path); err == nil {
+			size = fi.Size()
+		}
+		if err := os.Remove(path); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		l.mu.Lock()
+		l.segCount--
+		l.oldBytes -= size
+		l.mu.Unlock()
+	}
+	return firstErr
+}
+
+// Close seals the log: final group commit, stop the flusher, close the
+// file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	err := l.syncLocked()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.stopc)
+	<-l.donec
+	return err
+}
+
+// abort drops buffered records and closes the file without flushing —
+// the test harness' SIGKILL: everything since the last group commit is
+// lost, exactly as a real crash would lose it.
+func (l *Log) abort() {
+	l.mu.Lock()
+	if !l.closed {
+		l.f.Close()
+		l.closed = true
+	}
+	l.mu.Unlock()
+	close(l.stopc)
+	<-l.donec
+}
+
+func (l *Log) flushLoop() {
+	defer close(l.donec)
+	every := l.opts.FsyncEvery
+	if every < 0 {
+		<-l.stopc // synchronous mode: nothing to do in the background
+		return
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopc:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed {
+				// Size-based rotation happens here, not in Append, so
+				// the two fsyncs and the file create it costs never sit
+				// under a caller's lock; a segment can overshoot
+				// SegmentBytes by at most one group-commit window of
+				// traffic.
+				if l.segBytes >= l.opts.SegmentBytes {
+					if _, err := l.rotateLocked(); err != nil {
+						l.noteErr(err)
+					}
+				} else if err := l.syncLocked(); err != nil {
+					l.noteErr(err)
+				}
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Stats reports the log's current footprint.
+func (l *Log) Stats() LogStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LogStats{
+		Segments:  l.segCount,
+		Bytes:     l.oldBytes + l.segBytes,
+		Records:   l.records,
+		Syncs:     l.syncs,
+		Errors:    l.errors,
+		LastError: l.lastErr,
+	}
+}
+
+// replayFile walks one framed file (segment or snapshot), calling fn for
+// every intact record. It stops cleanly at a torn tail — a truncated or
+// CRC-failing record, the expected shape after a crash — reporting
+// torn=true; fn errors abort the walk.
+func replayFile(path, magic string, fn func(typ byte, payload []byte) error) (records int64, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, head); err != nil || string(head) != magic {
+		// A missing or wrong magic means the file never finished its
+		// header write (or is foreign); treat as fully torn.
+		return 0, true, nil
+	}
+	var hdr [5]byte
+	payload := make([]byte, 0, 64<<10)
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return records, false, nil
+			}
+			return records, true, nil // torn mid-header
+		}
+		n := binary.LittleEndian.Uint32(hdr[:4])
+		if n > maxRecordBytes {
+			return records, true, nil
+		}
+		typ := hdr[4]
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return records, true, nil
+		}
+		var tail [4]byte
+		if _, err := io.ReadFull(r, tail[:]); err != nil {
+			return records, true, nil
+		}
+		crc := crc32.Update(crc32.Checksum(hdr[4:5], crcTable), crcTable, payload)
+		if crc != binary.LittleEndian.Uint32(tail[:]) {
+			return records, true, nil
+		}
+		if err := fn(typ, payload); err != nil {
+			return records, false, err
+		}
+		records++
+	}
+}

@@ -1,11 +1,18 @@
 #!/usr/bin/env bash
 # server_smoke.sh — the CI serving-path smoke test.
 #
-# Builds the real binaries, starts nyquistd on a random port, drives it
-# with monitorsim's load-generator mode (a synthetic known-Nyquist
-# diurnal series over HTTP; the generator itself asserts the estimate
-# endpoint converges near ground truth), then sends SIGTERM and requires
-# a clean graceful shutdown (exit 0 with a final store report).
+# Phase 1 (memory-only): builds the real binaries, starts nyquistd on a
+# random port, drives it with monitorsim's load-generator mode (a
+# synthetic known-Nyquist diurnal series over HTTP; the generator itself
+# asserts the estimate endpoint converges near ground truth), then sends
+# SIGTERM and requires a clean graceful shutdown (exit 0 with a final
+# store report).
+#
+# Phase 2 (durability): starts nyquistd with -data-dir, pushes the same
+# load, SIGKILLs the daemon — no drain, no seal, the real crash — then
+# restarts it on the same data dir and requires byte-identical
+# /api/v1/query results, a matching /api/v1/estimate Nyquist rate, and
+# WAL replay accounting in /api/v1/stats.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,21 +22,24 @@ trap 'rm -rf "$workdir"' EXIT
 go build -o "$workdir/nyquistd" ./cmd/nyquistd
 go build -o "$workdir/monitorsim" ./cmd/monitorsim
 
+# wait_port LOGFILE: echoes the port once the daemon reports it.
+wait_port() {
+    local log=$1 port=""
+    for _ in $(seq 1 100); do
+        port=$(sed -n 's/.*listening on .*:\([0-9]*\)$/\1/p' "$log" | head -1)
+        [ -n "$port" ] && { echo "$port"; return 0; }
+        sleep 0.1
+    done
+    echo "server_smoke: nyquistd never reported its port" >&2
+    cat "$log" >&2
+    return 1
+}
+
 log="$workdir/nyquistd.log"
 "$workdir/nyquistd" -addr 127.0.0.1:0 >"$log" 2>&1 &
 daemon=$!
 
-port=""
-for _ in $(seq 1 100); do
-    port=$(sed -n 's/.*listening on .*:\([0-9]*\)$/\1/p' "$log" | head -1)
-    [ -n "$port" ] && break
-    sleep 0.1
-done
-if [ -z "$port" ]; then
-    echo "server_smoke: nyquistd never reported its port" >&2
-    cat "$log" >&2
-    exit 1
-fi
+port=$(wait_port "$log")
 echo "server_smoke: nyquistd up on port $port"
 
 # The load generator exits non-zero when the server's estimate misses
@@ -49,4 +59,70 @@ if [ "$rc" -ne 0 ]; then
     exit 1
 fi
 grep -q "shutting down" "$log" || { echo "server_smoke: no graceful-shutdown line in the log" >&2; cat "$log" >&2; exit 1; }
-echo "server_smoke: PASS (clean shutdown)"
+echo "server_smoke: PASS phase 1 (clean shutdown)"
+
+# ---------------------------------------------------------------------
+# Phase 2: kill-and-restart durability.
+datadir="$workdir/data"
+dlog="$workdir/nyquistd-durable.log"
+"$workdir/nyquistd" -addr 127.0.0.1:0 -data-dir "$datadir" \
+    -fsync-every 2ms -state-every 100ms >"$dlog" 2>&1 &
+daemon=$!
+port=$(wait_port "$dlog")
+echo "server_smoke: durable nyquistd up on port $port (data dir $datadir)"
+
+"$workdir/monitorsim" -push "http://127.0.0.1:$port"
+
+# Let the group commit and a state-record sweep land, then capture the
+# pre-crash answers. 1024 pushed samples = 8 sealed 128-point blocks, so
+# the WAL holds every point.
+sleep 0.5
+series="sim%2Fdiurnal%2Fgauge"
+curl -sf "http://127.0.0.1:$port/api/v1/query?series=$series&max_points=100000" >"$workdir/query_before.json"
+curl -sf "http://127.0.0.1:$port/api/v1/estimate?series=$series" >"$workdir/est_before.json"
+
+kill -KILL "$daemon"
+wait "$daemon" 2>/dev/null || true
+echo "server_smoke: SIGKILLed the durable daemon mid-flight"
+
+"$workdir/nyquistd" -addr 127.0.0.1:0 -data-dir "$datadir" \
+    -fsync-every 2ms -state-every 100ms >"$dlog.2" 2>&1 &
+daemon=$!
+port=$(wait_port "$dlog.2")
+grep -q "recovered $datadir" "$dlog.2" || { echo "server_smoke: no recovery line after restart" >&2; cat "$dlog.2" >&2; exit 1; }
+echo "server_smoke: restarted on port $port: $(grep 'recovered' "$dlog.2")"
+
+curl -sf "http://127.0.0.1:$port/api/v1/query?series=$series&max_points=100000" >"$workdir/query_after.json"
+curl -sf "http://127.0.0.1:$port/api/v1/estimate?series=$series" >"$workdir/est_after.json"
+curl -sf "http://127.0.0.1:$port/api/v1/stats" >"$workdir/stats_after.json"
+
+if ! cmp -s "$workdir/query_before.json" "$workdir/query_after.json"; then
+    echo "server_smoke: query results differ across the crash" >&2
+    diff <(head -c 2000 "$workdir/query_before.json") <(head -c 2000 "$workdir/query_after.json") >&2 || true
+    exit 1
+fi
+echo "server_smoke: query results byte-identical across SIGKILL"
+
+nyq() { sed -n 's/.*"nyquist_hz":\([0-9.e+-]*\).*/\1/p' "$1"; }
+before=$(nyq "$workdir/est_before.json")
+after=$(nyq "$workdir/est_after.json")
+awk -v a="$before" -v b="$after" 'BEGIN {
+    if (a <= 0 || b <= 0) { print "server_smoke: missing nyquist_hz (before=" a ", after=" b ")"; exit 1 }
+    rel = (a > b ? a - b : b - a) / a
+    if (rel > 1e-6) { print "server_smoke: estimate drifted across restart: " a " -> " b; exit 1 }
+}' || exit 1
+echo "server_smoke: estimate survived the crash ($before Hz)"
+
+grep -q '"wal":{' "$workdir/stats_after.json" || { echo "server_smoke: stats missing wal section" >&2; cat "$workdir/stats_after.json" >&2; exit 1; }
+grep -q '"points":1024' "$workdir/stats_after.json" || { echo "server_smoke: replay accounting missing 1024 points" >&2; cat "$workdir/stats_after.json" >&2; exit 1; }
+
+kill -TERM "$daemon"
+rc=0
+wait "$daemon" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "server_smoke: durable nyquistd exited $rc on SIGTERM, want a clean 0" >&2
+    cat "$dlog.2" >&2
+    exit 1
+fi
+grep -q "WAL sealed and committed" "$dlog.2" || { echo "server_smoke: no WAL-seal line on graceful shutdown" >&2; cat "$dlog.2" >&2; exit 1; }
+echo "server_smoke: PASS (clean shutdown + crash recovery)"
