@@ -57,10 +57,13 @@ func main() {
 		budget    = flag.Float64("budget", 0, "fleet sample budget as a fraction of the production rate (0 = regime default)")
 		listScens = flag.Bool("list-scenarios", false, "list the scenario catalog and exit")
 
-		push        = flag.String("push", "", "load-generator mode: base URL of a running nyquistd to drive")
-		pushSamples = flag.Int("push-samples", 1024, "samples to ingest in -push mode")
-		pushBatch   = flag.Int("push-batch", 256, "lines per ingest batch in -push mode")
-		pushSeries  = flag.String("push-series", "sim/diurnal/gauge", "series id used in -push mode")
+		push         = flag.String("push", "", "load-generator mode: base URL of a running nyquistd to drive")
+		pushSamples  = flag.Int("push-samples", 1024, "samples to ingest in -push mode")
+		pushBatch    = flag.Int("push-batch", 256, "lines per ingest batch in -push mode")
+		pushSeries   = flag.String("push-series", "sim/diurnal/gauge", "series id used in -push mode")
+		pushScenario = flag.String("push-scenario", "", "with -push: replay a catalog regime's wire traffic against the server (see -list-scenarios)")
+		pushBegin    = flag.Int("push-begin", 0, "first wire round to send in -push-scenario mode (earlier rounds are skipped, not sent)")
+		pushEnd      = flag.Int("push-end", 0, "one past the last wire round to send (0 = the regime's round bound)")
 	)
 	flag.Parse()
 
@@ -73,18 +76,29 @@ func main() {
 	}
 	if *listScens {
 		for _, sp := range fleet.Scenarios() {
-			fmt.Printf("%-12s %s (default %d devices, <=%d rounds, quality bar %.0f%% of swing)\n",
-				sp.Name, sp.Description, sp.DefaultDevices, sp.MaxRounds, 100*sp.QualityBar)
+			tag := ""
+			if sp.Hostile {
+				tag = " [hostile wire]"
+			}
+			fmt.Printf("%-12s %s (default %d devices, <=%d rounds, quality bar %.0f%% of swing)%s\n",
+				sp.Name, sp.Description, sp.DefaultDevices, sp.MaxRounds, 100*sp.QualityBar, tag)
 		}
 		return
 	}
 	if *push != "" {
+		if *pushScenario != "" {
+			runPushScenario(*push, *pushScenario, *seed, *devices, *pushBegin, *pushEnd, *pushBatch)
+			return
+		}
 		runPush(*push, *pushSeries, *pushSamples, *pushBatch)
 		return
 	}
 	if *scenario != "" {
 		runScenario(*scenario, *seed, *devices, *rounds, *budget)
 		return
+	}
+	if *pushScenario != "" {
+		fatal(fmt.Errorf("-push-scenario needs -push URL (a running nyquistd to drive)"))
 	}
 
 	metric, ok := findMetric(*metricName)
@@ -149,10 +163,20 @@ func main() {
 // runScenario drives the closed-loop controller over a catalog regime:
 // census the fleet with the concurrent scanner, then iterate the
 // estimate → budgeted poll rate → retention loop until rates converge.
+// Hostile regimes attack the ingest wire rather than the control loop,
+// so they run through the in-process ingest harness instead.
 func runScenario(name string, seed int64, devices, rounds int, budgetFrac float64) {
 	sc, err := fleet.BuildScenario(name, seed, devices)
 	if err != nil {
 		fatal(err)
+	}
+	if sc.Spec.Hostile {
+		rep, err := fleet.RunHostile(sc, fleet.HostileConfig{Rounds: rounds})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep.Render())
+		return
 	}
 	prod := 0.0
 	for _, d := range sc.Fleet.Devices {
@@ -290,6 +314,94 @@ func runPush(baseURL, id string, samples, batch int) {
 	fmt.Printf("push: query returned %d points (thinned=%v); store holds %d appends at %.2f bytes/point\n",
 		len(q.Points), q.Thinned, st.Appends, st.BytesPerPoint)
 	fmt.Println("push: PASS — estimate converged near ground truth across the HTTP boundary")
+}
+
+// runPushScenario replays a catalog regime's wire traffic against a
+// running nyquistd: the same deterministic WireGen stream the golden
+// reports pin, shipped over HTTP. Rounds [0, begin) are generated and
+// discarded (so a restarted client resumes mid-scenario with churn
+// epochs, skew state and backfill queues intact) and rounds [begin, end)
+// are sent. Unlike -push, rejected lines are not fatal — hostile regimes
+// exist to make the server reject truthfully — and a fully-rejected
+// batch (HTTP 400, e.g. a crash-recovery duplicate replay) is part of
+// the contract. The summary lines are machine-parseable; the chaos
+// harness greps them.
+func runPushScenario(baseURL, name string, seed int64, devices, begin, end, batch int) {
+	sc, err := fleet.BuildScenario(name, seed, devices)
+	if err != nil {
+		fatal(err)
+	}
+	if end <= 0 {
+		end = sc.Spec.MaxRounds
+	}
+	if begin < 0 || begin > end {
+		fatal(fmt.Errorf("push-scenario: bad round range [%d, %d)", begin, end))
+	}
+	if batch < 1 {
+		batch = 256
+	}
+	g := fleet.NewWireGen(sc, fleet.WireConfig{})
+	g.SkipRounds(begin)
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	var emitted, late, accepted, rejected, estDropped int
+	var sb strings.Builder
+	pending := 0
+	flush := func() {
+		if pending == 0 {
+			return
+		}
+		resp, err := client.Post(baseURL+"/api/v1/ingest", "application/x-ndjson", strings.NewReader(sb.String()))
+		if err != nil {
+			fatal(err)
+		}
+		var out struct {
+			Accepted         int `json:"accepted"`
+			Rejected         int `json:"rejected"`
+			EstimatorDropped int `json:"estimator_dropped"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			fatal(fmt.Errorf("push-scenario: decode ingest response: %w", err))
+		}
+		// 400 = every line rejected: legitimate under hostile traffic.
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusBadRequest {
+			fatal(fmt.Errorf("push-scenario: ingest batch failed: HTTP %d", resp.StatusCode))
+		}
+		if out.Accepted+out.Rejected != pending {
+			fatal(fmt.Errorf("push-scenario: sent %d lines, server accounted %d accepted + %d rejected",
+				pending, out.Accepted, out.Rejected))
+		}
+		accepted += out.Accepted
+		rejected += out.Rejected
+		estDropped += out.EstimatorDropped
+		sb.Reset()
+		pending = 0
+	}
+	fmt.Printf("push-scenario: regime=%s seed=%d devices=%d rounds=[%d,%d) -> %s\n",
+		sc.Spec.Name, sc.Seed, len(sc.Fleet.Devices), begin, end, baseURL)
+	for r := begin; r < end; r++ {
+		for _, ws := range g.Round() {
+			emitted++
+			if ws.Late {
+				late++
+			}
+			fmt.Fprintf(&sb, "{\"series\":%q,\"ts\":%q,\"value\":%g}\n",
+				ws.ID, ws.Time.UTC().Format(time.RFC3339Nano), ws.Value)
+			if pending++; pending >= batch {
+				flush()
+			}
+		}
+		flush()
+		fmt.Printf("push-scenario: round %d done: emitted=%d accepted=%d rejected=%d\n", r+1, emitted, accepted, rejected)
+	}
+	fmt.Printf("push-scenario: totals emitted=%d late=%d accepted=%d rejected=%d estimator_dropped=%d\n",
+		emitted, late, accepted, rejected, estDropped)
+	// The probe series anchors external recovery checks: a device whose
+	// wire id never churns, with its ground truth.
+	probe := sc.Fleet.Devices[0]
+	fmt.Printf("push-scenario: probe-series %s true-nyquist %.9g\n", probe.ID, probe.TrueNyquist)
 }
 
 // getJSON fetches url into out, failing the run on transport, status or

@@ -20,8 +20,9 @@
 //	nyquistd [-addr :9464] [-shards 16] [-raw-capacity 4096]
 //	         [-tier-capacity 1024] [-tiers 2] [-compress-block 128]
 //	         [-window 256] [-emit-every 8] [-max-body 8388608]
-//	         [-max-series 1000000]
+//	         [-max-series 1000000] [-evict-after -1]
 //	         [-data-dir DIR] [-fsync-every 10ms] [-snapshot-every 60s]
+//	         [-scrub-every 60s]
 //
 // The daemon prints "nyquistd: listening on HOST:PORT" once the socket
 // is bound (use -addr 127.0.0.1:0 to pick a free port: the printed line
@@ -60,6 +61,7 @@ func main() {
 		window       = flag.Int("window", 256, "per-series streaming-estimator window in samples")
 		emitEvery    = flag.Int("emit-every", 8, "samples between estimate refreshes once a window is full")
 		maxSeries    = flag.Int("max-series", 1_000_000, "estimator series cap; new series beyond it are stored but not estimated (0 = unbounded)")
+		evictAfter   = flag.Int("evict-after", -1, "observations of idleness before a capped-out estimator LRU-evicts an idle series (0 = never evict, negative = 4x max-series)")
 		maxBody      = flag.Int64("max-body", 8<<20, "max ingest request body in bytes")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
 
@@ -68,6 +70,7 @@ func main() {
 		segmentBytes  = flag.Int64("segment-bytes", 64<<20, "WAL segment rotation size in bytes")
 		snapshotEvery = flag.Duration("snapshot-every", 60*time.Second, "snapshot/compaction cadence (negative = never)")
 		stateEvery    = flag.Duration("state-every", 15*time.Second, "estimator tuning-state record cadence (negative = only on shutdown/snapshot)")
+		scrubEvery    = flag.Duration("scrub-every", 60*time.Second, "background CRC scrub cadence over sealed WAL segments and the newest snapshot (negative = never)")
 	)
 	flag.Parse()
 
@@ -92,6 +95,7 @@ func main() {
 		WindowSamples: *window,
 		EmitEvery:     *emitEvery,
 		MaxSeries:     *maxSeries,
+		EvictAfter:    *evictAfter,
 	})
 
 	var durable *wal.Durable
@@ -102,6 +106,7 @@ func main() {
 			SegmentBytes:  *segmentBytes,
 			SnapshotEvery: *snapshotEvery,
 			StateEvery:    *stateEvery,
+			ScrubEvery:    *scrubEvery,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "nyquistd: open data dir: %v\n", err)

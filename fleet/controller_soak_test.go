@@ -19,6 +19,11 @@ func TestControllerSoakAllRegimes(t *testing.T) {
 	}
 	for _, sp := range Scenarios() {
 		sp := sp
+		if sp.Hostile {
+			// Hostile regimes attack the ingest wire, not the control
+			// loop; their soak lives in TestHostileSoakAllRegimes.
+			continue
+		}
 		t.Run(sp.Name, func(t *testing.T) {
 			t.Parallel()
 			sc, err := BuildScenario(sp.Name, 29, devices)

@@ -37,7 +37,22 @@ type (
 	Scenario = dcsim.Scenario
 	// ScenarioSpec names and bounds one catalog regime.
 	ScenarioSpec = dcsim.ScenarioSpec
+	// HostileSpec carries a hostile regime's wire-transform knobs.
+	HostileSpec = dcsim.HostileSpec
+	// WireSample is one sample of generated ingest traffic.
+	WireSample = dcsim.WireSample
+	// WireConfig parameterizes a WireGen.
+	WireConfig = dcsim.WireConfig
+	// WireGen turns a scenario into deterministic wire traffic.
+	WireGen = dcsim.WireGen
 )
+
+// NewWireGen builds the wire-traffic generator for a scenario.
+var NewWireGen = dcsim.NewWireGen
+
+// DefaultSamplesPerRound is the per-device wire round size hostile bars
+// are calibrated against.
+const DefaultSamplesPerRound = dcsim.DefaultSamplesPerRound
 
 // BuildScenario builds a named workload regime deterministically.
 var BuildScenario = dcsim.BuildScenario

@@ -23,6 +23,13 @@ func goldenRun(t *testing.T, name string) string {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if sc.Spec.Hostile {
+		rep, err := RunHostile(sc, HostileConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Render()
+	}
 	prod := 0.0
 	for _, d := range sc.Fleet.Devices {
 		prod += d.PollRate()

@@ -1,0 +1,366 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/dcsim"
+	"repro/internal/monitor"
+	"repro/internal/series"
+	"repro/internal/tsdb"
+)
+
+// The hostile harness: the ingest-side counterpart of the closed-loop
+// Controller. Benign regimes are judged on the estimate→poll→retain
+// loop; hostile regimes attack the serving path instead — id churn
+// against the MaxSeries cap, out-of-order floods against strict append,
+// skewed clocks against the interval lock — so their bars are enforced
+// on exactly the pipeline nyquistd runs: strict-append store first,
+// ingest estimator only for accepted points, rejection counted, never
+// absorbed. The harness is single-threaded and deterministic, so golden
+// reports pin every counter; the -race soak drives the same runner with
+// concurrent store readers.
+
+// HostileConfig parameterizes a hostile run. The zero value reproduces
+// the golden-report configuration for the scenario's spec.
+type HostileConfig struct {
+	// Rounds is the number of wire rounds to run (0 = the spec's
+	// MaxRounds).
+	Rounds int
+	// SamplesPerRound is the per-device round size (0 =
+	// dcsim.DefaultSamplesPerRound).
+	SamplesPerRound int
+	// Window is the ingest estimator's analysis window (0 = 64 — short,
+	// so churn epochs and post-step recovery fit in a few rounds).
+	Window int
+	// EmitEvery is the estimate refresh cadence (0 = 8).
+	EmitEvery int
+	// Quorum is the fraction of a round's active estimable ids that must
+	// be warm with a clean estimate for the round to count as converged
+	// (0 = 0.9).
+	Quorum float64
+	// MaxSeries overrides the estimator capacity (0 = the regime budget:
+	// ceil(BudgetFraction x distinct wire ids)).
+	MaxSeries int
+	// EvictAfter overrides the estimator's LRU idle threshold (0 = one
+	// and a half rounds of wire traffic: a live series is observed every
+	// round so nothing active ever ages out, while a dead churn epoch is
+	// reclaimable from the round after next).
+	EvictAfter int
+	// Start anchors wire time (zero = the WireGen default).
+	Start time.Time
+}
+
+func (c HostileConfig) withDefaults(spec ScenarioSpec) HostileConfig {
+	if c.Rounds <= 0 {
+		c.Rounds = spec.MaxRounds
+	}
+	if c.SamplesPerRound <= 0 {
+		c.SamplesPerRound = dcsim.DefaultSamplesPerRound
+	}
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.EmitEvery <= 0 {
+		c.EmitEvery = 8
+	}
+	if c.Quorum <= 0 {
+		c.Quorum = 0.9
+	}
+	return c
+}
+
+// HostileRound is one wire round's accounting.
+type HostileRound struct {
+	// Round is 1-indexed.
+	Round int
+	// Emitted counts samples put on the wire this round; Late counts the
+	// backfilled ones among them.
+	Emitted, Late int
+	// Accepted and StoreRejected partition Emitted by the strict-append
+	// store's verdict.
+	Accepted, StoreRejected int
+	// EstimatorDropped counts accepted points the estimator declined
+	// (new id at a full cap with nothing evictable).
+	EstimatorDropped int
+	// Evicted is the cumulative estimator eviction count after the round.
+	Evicted int64
+	// Live is the estimator's series count after the round.
+	Live int
+	// ActiveEstimable counts ids that traded this round and have seen a
+	// full window; WarmClean counts those with a warm, clean estimate.
+	ActiveEstimable, WarmClean int
+	// QuorumMet reports whether WarmClean reached the quorum.
+	QuorumMet bool
+}
+
+// HostileReport is a hostile run's full accounting, golden-pinned per
+// regime.
+type HostileReport struct {
+	Spec    ScenarioSpec
+	Seed    int64
+	Devices int
+	Rounds  []HostileRound
+
+	// SamplesPerRound is the per-device round size the run used.
+	SamplesPerRound int
+	// DistinctIDs is the distinct wire ids the run carried; MaxSeries is
+	// the estimator capacity budgeted from it; EvictAfter the LRU idle
+	// threshold.
+	DistinctIDs, MaxSeries, EvictAfter int
+
+	// ConvergedRound is the first round meeting the warm-clean quorum
+	// (0 = never); FinalQuorumMet whether the last round did.
+	ConvergedRound int
+	FinalQuorumMet bool
+
+	// Wire totals.
+	Emitted, Late, Accepted, StoreRejected, EstimatorDropped int
+	// Estimator totals.
+	Evicted, EstimatorRejected int64
+	LiveSeries                 int
+	// ReprobedIDs counts live ids whose interval re-locked at least once.
+	ReprobedIDs int
+	// StoreSeries and StorePoints are the strict store's final holdings.
+	StoreSeries, StorePoints int
+
+	// Quality: relative Nyquist-estimate error against device ground
+	// truth over the live estimable ids.
+	QualityIDs              int
+	MedianRelErr, MaxRelErr float64
+}
+
+// HostileRunner drives one hostile run. Create with NewHostileRunner,
+// read the store concurrently if desired (that is the -race soak), then
+// call Run once.
+type HostileRunner struct {
+	sc    *Scenario
+	cfg   HostileConfig
+	gen   *dcsim.WireGen
+	store *monitor.Store
+	est   *monitor.IngestEstimator
+
+	accepted map[string]int
+	truth    map[string]float64
+}
+
+// NewHostileRunner builds the serving pipeline for one scenario. Any
+// catalog scenario is accepted; for benign regimes the wire transforms
+// are the identity and the run is a plain ingest replay.
+func NewHostileRunner(sc *Scenario, cfg HostileConfig) (*HostileRunner, error) {
+	if sc == nil || sc.Fleet == nil || len(sc.Fleet.Devices) == 0 {
+		return nil, fmt.Errorf("fleet: hostile runner needs a built scenario")
+	}
+	cfg = cfg.withDefaults(sc.Spec)
+	gen := dcsim.NewWireGen(sc, dcsim.WireConfig{SamplesPerRound: cfg.SamplesPerRound, Start: cfg.Start})
+	distinct := gen.DistinctIDs(cfg.Rounds)
+	if cfg.MaxSeries <= 0 {
+		frac := sc.Spec.BudgetFraction
+		if frac <= 0 {
+			frac = 1
+		}
+		cfg.MaxSeries = int(math.Ceil(frac * float64(distinct)))
+		if cfg.MaxSeries < 1 {
+			cfg.MaxSeries = 1
+		}
+	}
+	if cfg.EvictAfter <= 0 {
+		cfg.EvictAfter = 3 * len(sc.Fleet.Devices) * cfg.SamplesPerRound / 2
+	}
+	store := monitor.NewTieredStore(tsdb.Config{
+		Shards:       8,
+		StrictAppend: true,
+		Retention: tsdb.RetentionConfig{
+			RawCapacity:   1024,
+			TierCapacity:  256,
+			Tiers:         2,
+			CompressBlock: 64,
+		},
+	})
+	est := monitor.NewIngestEstimator(store, monitor.IngestConfig{
+		WindowSamples: cfg.Window,
+		EmitEvery:     cfg.EmitEvery,
+		// The paper's 90 % cut-off: with a 64-sample window the default
+		// 99 % rides rectangular-window leakage several bins past the
+		// band edge.
+		EnergyCutoff: 0.9,
+		MaxSeries:    cfg.MaxSeries,
+		EvictAfter:   cfg.EvictAfter,
+	})
+	return &HostileRunner{
+		sc:       sc,
+		cfg:      cfg,
+		gen:      gen,
+		store:    store,
+		est:      est,
+		accepted: make(map[string]int),
+		truth:    make(map[string]float64),
+	}, nil
+}
+
+// Store returns the runner's live store — safe to query concurrently
+// with Run.
+func (r *HostileRunner) Store() *monitor.Store { return r.store }
+
+// Estimator returns the runner's ingest estimator.
+func (r *HostileRunner) Estimator() *monitor.IngestEstimator { return r.est }
+
+// Run executes the configured rounds and returns the report.
+func (r *HostileRunner) Run() (*HostileReport, error) {
+	rep := &HostileReport{
+		Spec:            r.sc.Spec,
+		Seed:            r.sc.Seed,
+		Devices:         len(r.sc.Fleet.Devices),
+		SamplesPerRound: r.cfg.SamplesPerRound,
+		DistinctIDs:     r.gen.DistinctIDs(r.cfg.Rounds),
+		MaxSeries:       r.cfg.MaxSeries,
+		EvictAfter:      r.cfg.EvictAfter,
+	}
+	for round := 1; round <= r.cfg.Rounds; round++ {
+		rs := HostileRound{Round: round}
+		var active []string
+		seen := make(map[string]bool)
+		for _, ws := range r.gen.Round() {
+			rs.Emitted++
+			if ws.Late {
+				rs.Late++
+			}
+			if !seen[ws.ID] {
+				seen[ws.ID] = true
+				active = append(active, ws.ID)
+			}
+			p := series.Point{Time: ws.Time, Value: ws.Value}
+			if err := r.store.Append(ws.ID, p); err != nil {
+				// Mirror the serving path: a rejected append never
+				// feeds the estimator — truthful accounting means the
+				// estimate only ever reflects what the store holds.
+				rs.StoreRejected++
+				continue
+			}
+			rs.Accepted++
+			r.accepted[ws.ID]++
+			r.truth[ws.ID] = r.sc.Fleet.Devices[ws.Device].TrueNyquist
+			if !r.est.Observe(ws.ID, p) {
+				rs.EstimatorDropped++
+			}
+		}
+		for _, id := range active {
+			if r.accepted[id] < r.cfg.Window {
+				continue
+			}
+			rs.ActiveEstimable++
+			if adv, ok := r.est.Advice(id); ok && adv.Warm && adv.NyquistRate > 0 {
+				rs.WarmClean++
+			}
+		}
+		rs.QuorumMet = rs.ActiveEstimable > 0 &&
+			float64(rs.WarmClean) >= r.cfg.Quorum*float64(rs.ActiveEstimable)
+		rs.Evicted = r.est.Evicted()
+		rs.Live = r.est.Len()
+		rep.Rounds = append(rep.Rounds, rs)
+
+		rep.Emitted += rs.Emitted
+		rep.Late += rs.Late
+		rep.Accepted += rs.Accepted
+		rep.StoreRejected += rs.StoreRejected
+		rep.EstimatorDropped += rs.EstimatorDropped
+		if rs.QuorumMet && rep.ConvergedRound == 0 {
+			rep.ConvergedRound = round
+		}
+		if round == r.cfg.Rounds {
+			rep.FinalQuorumMet = rs.QuorumMet
+		}
+	}
+
+	rep.Evicted = r.est.Evicted()
+	rep.EstimatorRejected = r.est.Rejected()
+	rep.LiveSeries = r.est.Len()
+	st := r.store.Stats()
+	rep.StoreSeries = st.Series
+	rep.StorePoints = int(st.Appends)
+
+	// Final quality sweep over the live estimable ids, in sorted id
+	// order for determinism.
+	ids := make([]string, 0, len(r.accepted))
+	for id := range r.accepted {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var errs []float64
+	for _, id := range ids {
+		adv, ok := r.est.Advice(id)
+		if !ok {
+			continue
+		}
+		if adv.Reprobes > 0 {
+			rep.ReprobedIDs++
+		}
+		if r.accepted[id] < r.cfg.Window || adv.NyquistRate <= 0 {
+			continue
+		}
+		truth := r.truth[id]
+		if truth <= 0 {
+			continue
+		}
+		errs = append(errs, math.Abs(adv.NyquistRate-truth)/truth)
+	}
+	rep.QualityIDs = len(errs)
+	if len(errs) > 0 {
+		sort.Float64s(errs)
+		rep.MedianRelErr = errs[len(errs)/2]
+		rep.MaxRelErr = errs[len(errs)-1]
+	}
+	return rep, nil
+}
+
+// RunHostile builds the pipeline and runs the scenario in one call — the
+// golden-report entry point.
+func RunHostile(sc *Scenario, cfg HostileConfig) (*HostileReport, error) {
+	r, err := NewHostileRunner(sc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run()
+}
+
+// Render produces the byte-stable text report pinned by the golden
+// files: every counter of every round, the convergence verdict, and the
+// quality tail.
+func (r *HostileReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== hostile regime %s (seed %d, %d devices) ===\n", r.Spec.Name, r.Seed, r.Devices)
+	fmt.Fprintf(&b, "%s\n", r.Spec.Description)
+	fmt.Fprintf(&b, "wire: %d rounds x %d samples/device; distinct ids %d\n",
+		len(r.Rounds), r.SamplesPerRound, r.DistinctIDs)
+	fmt.Fprintf(&b, "estimator: cap %d series (budget %.0f%% of ids), evict after %d idle obs\n",
+		r.MaxSeries, 100*r.Spec.BudgetFraction, r.EvictAfter)
+	fmt.Fprintf(&b, "%5s %8s %6s %9s %9s %8s %8s %6s %12s\n",
+		"round", "emitted", "late", "accepted", "rejected", "est-drop", "evicted", "live", "warm-clean")
+	for _, rs := range r.Rounds {
+		mark := " "
+		if rs.QuorumMet {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, "%5d %8d %6d %9d %9d %8d %8d %6d %7d/%-4d%s\n",
+			rs.Round, rs.Emitted, rs.Late, rs.Accepted, rs.StoreRejected,
+			rs.EstimatorDropped, rs.Evicted, rs.Live, rs.WarmClean, rs.ActiveEstimable, mark)
+	}
+	if r.ConvergedRound > 0 {
+		fmt.Fprintf(&b, "converged: round %d of %d (quorum of active estimable ids warm+clean)\n",
+			r.ConvergedRound, r.Spec.MaxRounds)
+	} else {
+		fmt.Fprintf(&b, "converged: never within %d rounds\n", r.Spec.MaxRounds)
+	}
+	fmt.Fprintf(&b, "final round quorum met: %v\n", r.FinalQuorumMet)
+	fmt.Fprintf(&b, "wire totals: emitted %d (late %d), accepted %d, store-rejected %d, estimator-dropped %d\n",
+		r.Emitted, r.Late, r.Accepted, r.StoreRejected, r.EstimatorDropped)
+	fmt.Fprintf(&b, "estimator totals: live %d, evicted %d, cap-rejected %d, reprobed ids %d\n",
+		r.LiveSeries, r.Evicted, r.EstimatorRejected, r.ReprobedIDs)
+	fmt.Fprintf(&b, "store: %d series, %d points accepted\n", r.StoreSeries, r.StorePoints)
+	fmt.Fprintf(&b, "quality: median rel err %.1f%% over %d estimable ids (max %.1f%%), bar %.0f%%\n",
+		100*r.MedianRelErr, r.QualityIDs, 100*r.MaxRelErr, 100*r.Spec.QualityBar)
+	return b.String()
+}

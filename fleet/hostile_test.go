@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every hostile regime must clear its catalog bars: convergence within
+// MaxRounds, a final quorum of warm+clean estimates, median quality under
+// the spec's bar, and the estimator population within its capacity
+// budget. On top of the shared bars, each regime must demonstrably
+// exercise the failure mode it is named for — a cardinality regime that
+// never evicts, or a backfill regime whose store rejects nothing, would
+// be a green test over a dead scenario.
+func TestHostileRegimeBars(t *testing.T) {
+	ran := 0
+	for _, sp := range Scenarios() {
+		sp := sp
+		if !sp.Hostile {
+			continue
+		}
+		ran++
+		t.Run(sp.Name, func(t *testing.T) {
+			sc, err := BuildScenario(sp.Name, 101, 48)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := RunHostile(sc, HostileConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.ConvergedRound < 1 || rep.ConvergedRound > sp.MaxRounds {
+				t.Fatalf("%s: converged round %d outside [1, %d]:\n%s",
+					sp.Name, rep.ConvergedRound, sp.MaxRounds, rep.Render())
+			}
+			if !rep.FinalQuorumMet {
+				t.Fatalf("%s: final round lost the warm+clean quorum:\n%s", sp.Name, rep.Render())
+			}
+			if rep.QualityIDs == 0 {
+				t.Fatalf("%s: quality audit covered no ids", sp.Name)
+			}
+			if rep.MedianRelErr > sp.QualityBar {
+				t.Fatalf("%s: median rel err %.1f%% above the regime's %.0f%% bar:\n%s",
+					sp.Name, 100*rep.MedianRelErr, 100*sp.QualityBar, rep.Render())
+			}
+			if rep.LiveSeries > rep.MaxSeries {
+				t.Fatalf("%s: %d live series above the MaxSeries cap %d",
+					sp.Name, rep.LiveSeries, rep.MaxSeries)
+			}
+
+			switch sp.Name {
+			case "cardinality":
+				// The cap must be a real constraint: several times more
+				// distinct ids than slots, with both eviction and
+				// cap-rejection doing visible work.
+				if rep.DistinctIDs < 3*rep.MaxSeries {
+					t.Errorf("cap not under pressure: %d distinct ids vs cap %d",
+						rep.DistinctIDs, rep.MaxSeries)
+				}
+				if rep.Evicted == 0 {
+					t.Error("LRU eviction never fired")
+				}
+				if rep.EstimatorRejected == 0 {
+					t.Error("MaxSeries cap never rejected a series")
+				}
+			case "backfill":
+				if rep.Late == 0 {
+					t.Error("no late samples on the wire")
+				}
+				if rep.StoreRejected != rep.Late {
+					t.Errorf("truthful rejection accounting broken: store rejected %d, wire shipped %d late",
+						rep.StoreRejected, rep.Late)
+				}
+			case "clockskew":
+				// The coordinated step must force (nearly) every device
+				// through an interval re-probe, and a forward step must
+				// never trip the strict-append store.
+				if rep.ReprobedIDs < 43 {
+					t.Errorf("only %d of 48 ids re-probed after the clock step", rep.ReprobedIDs)
+				}
+				if rep.StoreRejected != 0 {
+					t.Errorf("forward clock step caused %d store rejections", rep.StoreRejected)
+				}
+			case "podchurn":
+				if rep.Evicted == 0 {
+					t.Error("dead epochs never aged out of the estimator")
+				}
+				if rep.StoreSeries != rep.DistinctIDs {
+					t.Errorf("store kept %d series for %d distinct wire ids", rep.StoreSeries, rep.DistinctIDs)
+				}
+			}
+		})
+	}
+	if ran < 4 {
+		t.Fatalf("only %d hostile regimes in the catalog, want >= 4", ran)
+	}
+}
+
+// Hostile runs must be deterministic in (name, seed, devices): two fresh
+// runs render byte-identical reports, and changing the seed changes the
+// traffic.
+func TestHostileRunDeterministic(t *testing.T) {
+	render := func(seed int64) string {
+		t.Helper()
+		sc, err := BuildScenario("cardinality", seed, 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := RunHostile(sc, HostileConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Render()
+	}
+	a, b := render(7), render(7)
+	if a != b {
+		t.Fatalf("same (name, seed, devices) rendered different reports:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+	if c := render(8); strings.Split(a, "\n")[0] == "" || a == c {
+		t.Fatal("seed 7 and seed 8 rendered identical reports")
+	}
+}

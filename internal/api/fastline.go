@@ -22,6 +22,7 @@ import (
 	"math"
 	"strconv"
 	"time"
+	"unicode/utf8"
 )
 
 // fastLine is the fast path's output: the series name still as raw
@@ -141,7 +142,10 @@ func (p *lineParser) eat(c byte) bool {
 
 // simpleString consumes a double-quoted string with no escapes,
 // returning its inner bytes. Any backslash — or a control byte, which
-// JSON strings forbid — bails (the slow path knows the full grammar).
+// JSON strings forbid — bails, as does invalid UTF-8: encoding/json
+// rewrites bad bytes to U+FFFD, and taking them raw here would store the
+// same line under a different series name than the slow path (found by
+// FuzzIngestLine). The slow path knows the full grammar.
 func (p *lineParser) simpleString() ([]byte, bool) {
 	if p.i >= len(p.b) || p.b[p.i] != '"' {
 		return nil, false
@@ -153,6 +157,9 @@ func (p *lineParser) simpleString() ([]byte, bool) {
 			return nil, false
 		case c == '"':
 			out := p.b[start:j]
+			if !utf8.Valid(out) {
+				return nil, false
+			}
 			p.i = j + 1
 			return out, true
 		}

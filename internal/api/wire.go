@@ -232,11 +232,14 @@ type StatsResponse struct {
 	EstimatedSeries         int   `json:"estimated_series"`
 	EstimatorMaxSeries      int   `json:"estimator_max_series"`
 	EstimatorRejectedPoints int64 `json:"estimator_rejected_points"`
-	RawPoints               int   `json:"raw_points"`
-	Buckets                 int   `json:"buckets"`
-	Appends                 int64 `json:"appends"`
-	Compacted               int64 `json:"compacted"`
-	Dropped                 int64 `json:"dropped"`
+	// EstimatorEvictedSeries counts idle series LRU-evicted to make room
+	// under the cap (pod-churn renaming retires old ids through here).
+	EstimatorEvictedSeries int64 `json:"estimator_evicted_series"`
+	RawPoints              int   `json:"raw_points"`
+	Buckets                int   `json:"buckets"`
+	Appends                int64 `json:"appends"`
+	Compacted              int64 `json:"compacted"`
+	Dropped                int64 `json:"dropped"`
 	// CompressedBytes/CompressedEntries describe the sealed Gorilla
 	// payload; BytesPerPoint is their ratio (0 when uncompressed).
 	CompressedBytes   int64   `json:"compressed_bytes"`
@@ -268,6 +271,14 @@ type WALStatsJSON struct {
 	SnapshotErrors int64  `json:"snapshot_errors"`
 	LastSnapshot   string `json:"last_snapshot,omitempty"`
 	SnapshotSeries int    `json:"snapshot_series,omitempty"`
+	// ScrubRuns/ScrubFiles/ScrubCorrupt report the background CRC scrub
+	// over this session's sealed segments and the newest snapshot; a
+	// non-zero ScrubCorrupt means on-disk bit rot (also counted into
+	// Errors). LastScrub stamps the newest pass.
+	ScrubRuns    int64  `json:"scrub_runs"`
+	ScrubFiles   int64  `json:"scrub_files"`
+	ScrubCorrupt int64  `json:"scrub_corrupt"`
+	LastScrub    string `json:"last_scrub,omitempty"`
 	// Replay describes what boot recovery did.
 	Replay WALReplayJSON `json:"replay"`
 }
@@ -293,6 +304,7 @@ func statsResponseFrom(st tsdb.Stats, est *monitor.IngestEstimator, walStats *wa
 		EstimatedSeries:         est.Len(),
 		EstimatorMaxSeries:      est.Config().MaxSeries,
 		EstimatorRejectedPoints: est.Rejected(),
+		EstimatorEvictedSeries:  est.Evicted(),
 		RawPoints:               st.RawPoints,
 		Buckets:                 st.Buckets,
 		Appends:                 st.Appends,
@@ -316,6 +328,9 @@ func statsResponseFrom(st tsdb.Stats, est *monitor.IngestEstimator, walStats *wa
 			Snapshots:      walStats.Snapshots,
 			SnapshotErrors: walStats.SnapshotErrors,
 			SnapshotSeries: walStats.SnapshotSeries,
+			ScrubRuns:      walStats.ScrubRuns,
+			ScrubFiles:     walStats.ScrubFiles,
+			ScrubCorrupt:   walStats.ScrubCorrupt,
 			Replay: WALReplayJSON{
 				SnapshotLoaded:  walStats.Replay.SnapshotLoaded,
 				Segments:        walStats.Replay.Segments,
@@ -330,6 +345,9 @@ func statsResponseFrom(st tsdb.Stats, est *monitor.IngestEstimator, walStats *wa
 		}
 		if !walStats.LastSnapshot.IsZero() {
 			w.LastSnapshot = wireTime(walStats.LastSnapshot)
+		}
+		if !walStats.LastScrub.IsZero() {
+			w.LastScrub = wireTime(walStats.LastScrub)
 		}
 		out.WAL = w
 	}

@@ -43,7 +43,17 @@ type ScenarioSpec struct {
 	// BudgetFraction is the share of the production fleet rate a
 	// closed-loop run is budgeted on this regime (1 = the rate the fleet
 	// already pays). Regimes that need aliasing probes get more headroom.
+	//
+	// Hostile regimes reinterpret this as the estimator-capacity budget:
+	// the MaxSeries cap granted to the ingest harness, as a fraction of
+	// the regime's distinct wire-id load (see fleet.RunHostile).
 	BudgetFraction float64
+	// Hostile marks wire-hostile regimes: the device population is
+	// benign, but the wire transform (WireGen) churns ids, delivers
+	// samples out of order, or skews clocks. Their bars are enforced by
+	// the ingest-side hostile harness instead of the closed-loop
+	// controller.
+	Hostile bool
 }
 
 // Scenario is a built workload regime: the spec, the deterministic device
@@ -60,14 +70,23 @@ type Scenario struct {
 	// signal time: device i's k-th poll at rate r reads the signal at
 	// PhaseOffset[i] + k/r. All zeros except in the phasejitter regime.
 	PhaseOffset []float64
+	// Hostile carries the wire-transform knobs of hostile regimes (nil
+	// for the benign catalog). The signals stay clean — the hostility is
+	// in how samples reach the wire.
+	Hostile *HostileSpec
 }
 
-// scenarioCatalog holds the regimes in catalog order. Golden tests pin
-// the builds, so changing a builder is a (deliberate) regression event.
-var scenarioCatalog = []struct {
+// catalogEntry pairs a regime's spec with its builder.
+type catalogEntry struct {
 	spec  ScenarioSpec
 	build func(s *Scenario, rng *rand.Rand) error
-}{
+}
+
+// scenarioCatalog holds the regimes in catalog order: the six benign
+// regimes here, the hostile ones appended from hostile.go. Golden tests
+// pin the builds, so changing a builder is a (deliberate) regression
+// event.
+var scenarioCatalog = []catalogEntry{
 	{
 		spec: ScenarioSpec{
 			Name:           "diurnal",

@@ -3,6 +3,7 @@ package monitor
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -37,10 +38,21 @@ type IngestEstimator struct {
 	cfg   IngestConfig
 	store *Store
 
+	// clock counts every observation estimator-wide; each series stamps
+	// it into lastSeen so idleness is measured in observations, not wall
+	// time (a quiet fleet should not age anything out).
+	clock atomic.Int64
+
 	mu     sync.RWMutex
 	series map[string]*ingestSeries
 	// rejected counts observations dropped because MaxSeries was hit.
 	rejected int64
+	// evicted counts series aged out by LRU eviction to admit new ones.
+	evicted int64
+	// evictQueue caches eviction candidates (oldest first) from the last
+	// full scan, so a churn storm pays one O(n log n) scan per batch of
+	// evictions instead of per eviction.
+	evictQueue []string
 }
 
 // IngestConfig parameterizes an IngestEstimator.
@@ -52,6 +64,10 @@ type IngestConfig struct {
 	// EmitEvery is the number of points between estimate refreshes once
 	// a window is full; zero selects 8.
 	EmitEvery int
+	// EnergyCutoff is the spectral energy fraction defining the Nyquist
+	// cut-off, passed through to each series' stream estimator; zero
+	// selects the core default.
+	EnergyCutoff float64
 	// Headroom multiplies the estimated Nyquist rate when suggesting a
 	// poll interval and when retuning retention; zero selects 1.2.
 	Headroom float64
@@ -75,6 +91,15 @@ type IngestConfig struct {
 	// estimating, the overflow series simply get no estimates or
 	// retention retuning. Zero means unbounded.
 	MaxSeries int
+	// EvictAfter enables LRU eviction under the MaxSeries cap: when a
+	// new series arrives at the cap, the longest-idle series — one not
+	// observed for at least EvictAfter observations, estimator-wide — is
+	// evicted to admit it, so churned ids (pod renames, short-lived
+	// jobs) age out instead of pinning the cap forever. The evicted
+	// series' stored points and retention tuning survive; only its
+	// estimator window is released. Zero disables eviction (new series
+	// at the cap are rejected); negative selects 4 x MaxSeries.
+	EvictAfter int
 }
 
 func (c IngestConfig) withDefaults() IngestConfig {
@@ -95,6 +120,9 @@ func (c IngestConfig) withDefaults() IngestConfig {
 	}
 	if c.RetuneCleanStreak <= 0 {
 		c.RetuneCleanStreak = 2
+	}
+	if c.EvictAfter < 0 {
+		c.EvictAfter = 4 * c.MaxSeries
 	}
 	return c
 }
@@ -135,6 +163,11 @@ type IngestAdvice struct {
 // ingestSeries is one series' hook state. Its own mutex serializes
 // observations per series while distinct series proceed in parallel.
 type ingestSeries struct {
+	// lastSeen is the estimator-wide clock value of the newest
+	// observation for this series — the LRU recency stamp. Atomic so the
+	// Observe fast path can stamp it without the estimator lock.
+	lastSeen atomic.Int64
+
 	mu sync.Mutex
 
 	est      *core.StreamEstimator
@@ -173,13 +206,14 @@ func NewIngestEstimator(store *Store, cfg IngestConfig) *IngestEstimator {
 // for a new series beyond the cap is dropped and counted, and Observe
 // returns false.
 func (e *IngestEstimator) Observe(id string, p series.Point) bool {
+	tick := e.clock.Add(1)
 	e.mu.RLock()
 	s := e.series[id]
 	e.mu.RUnlock()
 	if s == nil {
 		e.mu.Lock()
 		if s = e.series[id]; s == nil {
-			if e.cfg.MaxSeries > 0 && len(e.series) >= e.cfg.MaxSeries {
+			if e.cfg.MaxSeries > 0 && len(e.series) >= e.cfg.MaxSeries && !e.evictOneLocked(tick) {
 				e.rejected++
 				e.mu.Unlock()
 				return false
@@ -189,6 +223,7 @@ func (e *IngestEstimator) Observe(id string, p series.Point) bool {
 		}
 		e.mu.Unlock()
 	}
+	s.lastSeen.Store(tick)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -233,6 +268,60 @@ func (e *IngestEstimator) Observe(id string, p series.Point) bool {
 	return true
 }
 
+// evictBatch caps how many candidates one eviction scan caches: enough
+// to amortize a churn storm, small enough to bound the sort.
+const evictBatch = 4096
+
+// evictOneLocked frees one estimator slot by evicting the longest-idle
+// series, provided its idleness has reached EvictAfter observations.
+// Returns false (no slot freed) when eviction is disabled or every
+// series is recent enough to keep. Called with e.mu held for writing.
+func (e *IngestEstimator) evictOneLocked(now int64) bool {
+	if e.cfg.EvictAfter <= 0 {
+		return false
+	}
+	if len(e.evictQueue) == 0 {
+		type cand struct {
+			id   string
+			seen int64
+		}
+		cands := make([]cand, 0, 64)
+		for id, s := range e.series {
+			if seen := s.lastSeen.Load(); now-seen >= int64(e.cfg.EvictAfter) {
+				cands = append(cands, cand{id, seen})
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].seen != cands[b].seen {
+				return cands[a].seen < cands[b].seen
+			}
+			return cands[a].id < cands[b].id
+		})
+		if len(cands) > evictBatch {
+			cands = cands[:evictBatch]
+		}
+		for _, c := range cands {
+			e.evictQueue = append(e.evictQueue, c.id)
+		}
+	}
+	for len(e.evictQueue) > 0 {
+		id := e.evictQueue[0]
+		e.evictQueue = e.evictQueue[1:]
+		s, ok := e.series[id]
+		if !ok {
+			continue
+		}
+		// Revalidate: the series may have woken up since the scan.
+		if now-s.lastSeen.Load() < int64(e.cfg.EvictAfter) {
+			continue
+		}
+		delete(e.series, id)
+		e.evicted++
+		return true
+	}
+	return false
+}
+
 // probe accumulates pre-lock points and locks the interval once enough
 // gaps are seen. Called with s.mu held.
 func (s *ingestSeries) probe(e *IngestEstimator, id string, p series.Point) {
@@ -258,6 +347,7 @@ func (s *ingestSeries) probe(e *IngestEstimator, id string, p series.Point) {
 		Interval:      interval,
 		WindowSamples: e.cfg.WindowSamples,
 		EmitEvery:     e.cfg.EmitEvery,
+		EnergyCutoff:  e.cfg.EnergyCutoff,
 		Headroom:      e.cfg.Headroom,
 		Start:         s.pending[0].Time,
 	})
@@ -349,6 +439,13 @@ func (e *IngestEstimator) Rejected() int64 {
 	return e.rejected
 }
 
+// Evicted returns the number of series aged out by LRU eviction.
+func (e *IngestEstimator) Evicted() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.evicted
+}
+
 // Config returns the estimator's effective configuration (defaults
 // applied).
 func (e *IngestEstimator) Config() IngestConfig { return e.cfg }
@@ -406,10 +503,11 @@ func (e *IngestEstimator) ExportState() []IngestSeriesState {
 // Advice answers before the analysis window rewarms. Subject to the same
 // MaxSeries cap as Observe; returns false when the cap drops it.
 func (e *IngestEstimator) RestoreState(st IngestSeriesState) bool {
+	tick := e.clock.Add(1)
 	e.mu.Lock()
 	s := e.series[st.Series]
 	if s == nil {
-		if e.cfg.MaxSeries > 0 && len(e.series) >= e.cfg.MaxSeries {
+		if e.cfg.MaxSeries > 0 && len(e.series) >= e.cfg.MaxSeries && !e.evictOneLocked(tick) {
 			e.rejected++
 			e.mu.Unlock()
 			return false
@@ -418,6 +516,7 @@ func (e *IngestEstimator) RestoreState(st IngestSeriesState) bool {
 		e.series[st.Series] = s
 	}
 	e.mu.Unlock()
+	s.lastSeen.Store(tick)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -436,6 +535,7 @@ func (e *IngestEstimator) RestoreState(st IngestSeriesState) bool {
 			Interval:      st.Interval,
 			WindowSamples: e.cfg.WindowSamples,
 			EmitEvery:     e.cfg.EmitEvery,
+			EnergyCutoff:  e.cfg.EnergyCutoff,
 			Headroom:      e.cfg.Headroom,
 		})
 		if err == nil {

@@ -267,3 +267,61 @@ func TestIngestEstimatorStateRoundTrip(t *testing.T) {
 		t.Fatalf("rewarmed estimate %.6f Hz drifted from %.6f Hz (%.1f%%)", adv2.NyquistRate, pre.NyquistRate, 100*rel)
 	}
 }
+
+// TestIngestEstimatorLRUEviction pins the eviction order and contract:
+// with EvictAfter enabled, a new series at the cap evicts the
+// longest-idle series (and only a sufficiently idle one), counting each
+// eviction, while EvictAfter=0 keeps the PR 5 hard-cap behavior.
+func TestIngestEstimatorLRUEviction(t *testing.T) {
+	e := NewIngestEstimator(nil, IngestConfig{WindowSamples: 64, MaxSeries: 2, EvictAfter: 1})
+	p := func(i int) series.Point {
+		return series.Point{Time: ingestStart.Add(time.Duration(i) * time.Second), Value: float64(i)}
+	}
+	if !e.Observe("a", p(0)) || !e.Observe("b", p(1)) {
+		t.Fatal("observations under the cap were dropped")
+	}
+	// c arrives at the cap: a is the longest idle, so a goes.
+	if !e.Observe("c", p(2)) {
+		t.Fatal("new series was rejected although an idle one was evictable")
+	}
+	if _, ok := e.Advice("a"); ok {
+		t.Fatal("evicted series a still has advice")
+	}
+	if _, ok := e.Advice("b"); !ok {
+		t.Fatal("series b was evicted out of LRU order (a was older)")
+	}
+	// d arrives: now b is the longest idle.
+	if !e.Observe("d", p(3)) {
+		t.Fatal("second new series was rejected")
+	}
+	if _, ok := e.Advice("b"); ok {
+		t.Fatal("evicted series b still has advice")
+	}
+	if _, ok := e.Advice("c"); !ok {
+		t.Fatal("series c was evicted out of LRU order (b was older)")
+	}
+	if got := e.Evicted(); got != 2 {
+		t.Fatalf("Evicted() = %d, want 2", got)
+	}
+	if got := e.Rejected(); got != 0 {
+		t.Fatalf("Rejected() = %d, want 0 (eviction, not rejection)", got)
+	}
+	if got := e.Len(); got != 2 {
+		t.Fatalf("Len() = %d, want 2", got)
+	}
+
+	// Freshly-active series must never be evicted: with a high
+	// EvictAfter nothing is idle enough, so the cap rejects instead.
+	e2 := NewIngestEstimator(nil, IngestConfig{WindowSamples: 64, MaxSeries: 2, EvictAfter: 1 << 20})
+	e2.Observe("a", p(0))
+	e2.Observe("b", p(1))
+	if e2.Observe("c", p(2)) {
+		t.Fatal("series admitted by evicting a fresh series")
+	}
+	if got, want := e2.Rejected(), int64(1); got != want {
+		t.Fatalf("Rejected() = %d, want %d", got, want)
+	}
+	if got := e2.Evicted(); got != 0 {
+		t.Fatalf("Evicted() = %d, want 0", got)
+	}
+}

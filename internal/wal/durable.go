@@ -38,6 +38,13 @@ type Options struct {
 	// selects 15s, negative disables periodic state records (they are
 	// still written on Close and captured by snapshots).
 	StateEvery time.Duration
+	// ScrubEvery is the background CRC scrub's cadence: re-read and
+	// checksum the segments this session sealed plus the newest
+	// snapshot, so silent disk corruption is counted in LogStats.Errors
+	// while the process still serves — not discovered at the next boot's
+	// replay, when the good copy in memory is already gone. Zero selects
+	// 60s, negative disables (Scrub can still be called manually).
+	ScrubEvery time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -49,6 +56,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.StateEvery == 0 {
 		o.StateEvery = 15 * time.Second
+	}
+	if o.ScrubEvery == 0 {
+		o.ScrubEvery = 60 * time.Second
 	}
 	return o
 }
@@ -93,6 +103,14 @@ type Stats struct {
 	LastSnapshot   time.Time
 	// SnapshotSeries is the series count in the newest snapshot.
 	SnapshotSeries int
+	// ScrubRuns counts background CRC scrub passes this session;
+	// ScrubFiles the segment/snapshot files they read; ScrubCorrupt the
+	// files that failed a checksum (each also counted into Log.Errors).
+	// LastScrub stamps the newest pass (zero when none yet).
+	ScrubRuns    int64
+	ScrubFiles   int64
+	ScrubCorrupt int64
+	LastScrub    time.Time
 	// Replay describes boot recovery.
 	Replay ReplayInfo
 }
@@ -109,12 +127,16 @@ type Durable struct {
 
 	replay ReplayInfo
 
-	mu             sync.Mutex // serializes snapshots and state sweeps
+	mu             sync.Mutex // serializes snapshots, state sweeps and scrubs
 	snapshots      int64
 	snapshotErrs   int64
 	lastSnapshot   time.Time
 	snapshotSeries int
 	bytesAtSnap    int64
+	scrubRuns      int64
+	scrubFiles     int64
+	scrubCorrupt   int64
+	lastScrub      time.Time
 	lastState      map[string]stateRec
 	// pendingStates carries snapshot-loaded estimator states from
 	// loadSnapshot to recover, which applies them (WAL records may
@@ -509,6 +531,95 @@ func (d *Durable) snapshotLocked() error {
 	return nil
 }
 
+// Scrub re-reads and CRC-verifies the durable files this process is
+// responsible for: every segment this session sealed (earlier sessions'
+// segments may legitimately carry a torn tail from a crash, so they are
+// off limits) and the newest snapshot. A file that fails is counted in
+// ScrubCorrupt and into LogStats.Errors — the point is to surface a
+// flipped bit while the in-memory copy is still good, not at the next
+// boot's replay when it is the only copy left. Returns the files checked
+// and the corrupt ones found this pass.
+func (d *Durable) Scrub() (checked, corrupt int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// Every pass re-reads every file — a segment verified clean last
+	// pass can rot before this one, so caching clean results would blind
+	// the scrub to exactly what it exists to catch. The set is bounded:
+	// compaction deletes sealed segments behind each snapshot.
+	from, to := d.log.sealedRange()
+	for idx := from; idx < to; idx++ {
+		path := filepath.Join(d.dir, segName(idx))
+		if _, err := os.Stat(path); err != nil {
+			continue // compacted away behind a snapshot
+		}
+		checked++
+		_, torn, err := replayFile(path, segMagic, func(byte, []byte) error { return nil })
+		switch {
+		case err != nil:
+			corrupt++
+			d.log.noteExternalErr(fmt.Errorf("wal: scrub: %s: %w", segName(idx), err))
+		case torn:
+			// This session sealed the segment cleanly; a torn record now
+			// is bit rot, not a crash artifact.
+			corrupt++
+			d.log.noteExternalErr(fmt.Errorf("wal: scrub: %s: %w", segName(idx), ErrCorrupt))
+		}
+	}
+	if snaps, err := listSnapshots(d.dir); err == nil && len(snaps) > 0 {
+		idx := snaps[len(snaps)-1]
+		checked++
+		if !verifySnapshotFile(filepath.Join(d.dir, snapName(idx))) {
+			corrupt++
+			d.log.noteExternalErr(fmt.Errorf("wal: scrub: %s: %w", snapName(idx), ErrCorrupt))
+		}
+	}
+	d.scrubRuns++
+	d.scrubFiles += int64(checked)
+	d.scrubCorrupt += int64(corrupt)
+	d.lastScrub = time.Now()
+	return checked, corrupt
+}
+
+// verifySnapshotFile decodes every record of a snapshot without applying
+// anything, reporting whether the file is structurally complete: magic,
+// header, per-record CRCs, and a footer whose counts match.
+func verifySnapshotFile(path string) bool {
+	var (
+		haveHdr          bool
+		nSeries, nStates uint64
+		footer           *snapFooter
+		bad              bool
+	)
+	_, torn, err := replayFile(path, snapMagic, func(typ byte, payload []byte) error {
+		var derr error
+		switch typ {
+		case recSnapHeader:
+			_, derr = decodeSnapHeader(payload)
+			haveHdr = derr == nil
+		case recSnapSeries:
+			_, derr = decodeSeriesSnap(payload)
+			nSeries++
+		case recSnapState:
+			_, derr = decodeStateRec(payload)
+			nStates++
+		case recSnapFooter:
+			var f snapFooter
+			f, derr = decodeSnapFooter(payload)
+			if derr == nil {
+				footer = &f
+			}
+		}
+		if derr != nil {
+			bad = true
+		}
+		return derr
+	})
+	if err != nil || torn || bad {
+		return false
+	}
+	return haveHdr && footer != nil && footer.series == nSeries && footer.states == nStates
+}
+
 // syncDir fsyncs a directory so a just-renamed file's dirent is durable.
 func syncDir(dir string) {
 	if f, err := os.Open(dir); err == nil {
@@ -540,7 +651,8 @@ func (d *Durable) background() {
 	defer close(d.donec)
 	stateEvery := d.opts.StateEvery
 	snapEvery := d.opts.SnapshotEvery
-	var statec, snapc <-chan time.Time
+	scrubEvery := d.opts.ScrubEvery
+	var statec, snapc, scrubc <-chan time.Time
 	if stateEvery > 0 {
 		t := time.NewTicker(stateEvery)
 		defer t.Stop()
@@ -551,12 +663,19 @@ func (d *Durable) background() {
 		defer t.Stop()
 		snapc = t.C
 	}
+	if scrubEvery > 0 {
+		t := time.NewTicker(scrubEvery)
+		defer t.Stop()
+		scrubc = t.C
+	}
 	for {
 		select {
 		case <-d.stopc:
 			return
 		case <-statec:
 			d.writeStates()
+		case <-scrubc:
+			d.Scrub()
 		case <-snapc:
 			d.mu.Lock()
 			grown := d.log.Stats().Bytes-d.bytesAtSnap >= d.opts.SnapshotMinBytes
@@ -607,6 +726,10 @@ func (d *Durable) Stats() Stats {
 		SnapshotErrors: d.snapshotErrs,
 		LastSnapshot:   d.lastSnapshot,
 		SnapshotSeries: d.snapshotSeries,
+		ScrubRuns:      d.scrubRuns,
+		ScrubFiles:     d.scrubFiles,
+		ScrubCorrupt:   d.scrubCorrupt,
+		LastScrub:      d.lastScrub,
 		Replay:         d.replay,
 	}
 }

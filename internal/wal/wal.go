@@ -117,6 +117,7 @@ type Log struct {
 	f        *os.File
 	w        *bufio.Writer
 	seg      uint64 // current segment index
+	startSeg uint64 // first segment opened by this session (scrub floor)
 	segBytes int64  // bytes written to the current segment
 	oldBytes int64  // bytes in older (already sealed) live segments
 	segCount int
@@ -191,6 +192,7 @@ func openLog(dir string, opts LogOptions) (*Log, error) {
 		dir:      dir,
 		opts:     opts,
 		seg:      next,
+		startSeg: next,
 		oldBytes: oldBytes,
 		segCount: len(segs) + 1,
 		stopc:    make(chan struct{}),
@@ -274,6 +276,26 @@ func (l *Log) Append(typ byte, payload []byte) error {
 		}
 	}
 	return nil
+}
+
+// sealedRange returns the half-open segment-index interval [from, to)
+// this session has written and sealed: from is the first segment the
+// session opened, to the live append target. Segments below from belong
+// to earlier sessions and may legitimately end in a torn tail (a crash),
+// so only this range is fair game for corruption checks.
+func (l *Log) sealedRange() (from, to uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.startSeg, l.seg
+}
+
+// noteExternalErr counts a durability failure detected outside the
+// append path (the scrub) so it surfaces through LogStats.Errors like
+// any other degradation.
+func (l *Log) noteExternalErr(err error) {
+	l.mu.Lock()
+	l.noteErr(err)
+	l.mu.Unlock()
 }
 
 // noteErr records a durability failure in the stats. Caller holds mu.

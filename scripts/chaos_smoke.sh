@@ -1,0 +1,189 @@
+#!/usr/bin/env bash
+# chaos_smoke.sh — the CI chaos harness: a live nyquistd under a hostile
+# wire regime, killed mid-scenario and restarted.
+#
+# monitorsim's -push-scenario mode replays the deterministic backfill
+# regime (the same WireGen stream the golden reports pin) against a
+# durable daemon. Halfway through the scenario the daemon is SIGKILLed —
+# no drain, no seal — restarted on the same data dir, and the PR 5
+# recovery bars are asserted under hostile traffic:
+#
+#   - queries for synced data are byte-identical (the recovered points
+#     are an exact prefix of the pre-crash answer; only the unsealed,
+#     unsynced tail may be missing),
+#   - the probe series' estimate survives the crash,
+#   - rejection accounting stays truthful across the restart: a
+#     duplicate replay of already-ingested rounds is fully rejected, and
+#     the scenario's remaining rounds land with exact
+#     accepted+rejected=emitted accounting,
+#   - the background CRC scrub has run against the recovered WAL,
+#
+# then the daemon must still shut down gracefully (WAL sealed).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/nyquistd" ./cmd/nyquistd
+go build -o "$workdir/monitorsim" ./cmd/monitorsim
+
+# wait_port LOGFILE: echoes the port once the daemon reports it.
+wait_port() {
+    local log=$1 port=""
+    for _ in $(seq 1 100); do
+        port=$(sed -n 's/.*listening on .*:\([0-9]*\)$/\1/p' "$log" | head -1)
+        [ -n "$port" ] && { echo "$port"; return 0; }
+        sleep 0.1
+    done
+    echo "chaos_smoke: nyquistd never reported its port" >&2
+    cat "$log" >&2
+    return 1
+}
+
+# start_daemon LOGFILE ARGS...: starts nyquistd with a bind retry (a
+# stale port or slow teardown must not flake the job); sets $daemon and
+# $port.
+start_daemon() {
+    local log=$1 attempt
+    shift
+    for attempt in 1 2 3; do
+        "$workdir/nyquistd" "$@" >"$log" 2>&1 &
+        daemon=$!
+        if port=$(wait_port "$log"); then
+            return 0
+        fi
+        kill "$daemon" 2>/dev/null || true
+        wait "$daemon" 2>/dev/null || true
+        echo "chaos_smoke: start attempt $attempt failed, retrying" >&2
+    done
+    echo "chaos_smoke: nyquistd failed to start after 3 attempts" >&2
+    cat "$log" >&2
+    return 1
+}
+
+# The scenario: backfill at 8 devices, seed 7 — a quarter of the wire
+# arrives out of order, so the strict-append store must reject
+# truthfully while everything else lands. The window is the hostile
+# harness' 64 samples so estimates warm up within the pushed rounds.
+regime=backfill
+seed=7
+devices=8
+datadir="$workdir/data"
+dflags=(-addr 127.0.0.1:0 -data-dir "$datadir" -window 64 -compress-block 32
+    -fsync-every 2ms -state-every 100ms -snapshot-every=-1s -scrub-every 200ms)
+
+start_daemon "$workdir/chaos1.log" "${dflags[@]}"
+echo "chaos_smoke: nyquistd up on port $port (data dir $datadir)"
+
+# Phase A: the first half of the scenario, rounds [0,3).
+"$workdir/monitorsim" -push "http://127.0.0.1:$port" -push-scenario "$regime" \
+    -seed "$seed" -devices "$devices" -push-begin 0 -push-end 3 | tee "$workdir/phaseA.log"
+probe=$(sed -n 's/^push-scenario: probe-series \([^ ]*\) .*/\1/p' "$workdir/phaseA.log")
+[ -n "$probe" ] || { echo "chaos_smoke: no probe series in push output" >&2; exit 1; }
+
+# Let the group commit and a state sweep land, then capture the
+# pre-crash answers for the probe series.
+sleep 0.5
+q() { curl -sfG "http://127.0.0.1:$1/api/v1/query" --data-urlencode "series=$probe" --data-urlencode "max_points=100000"; }
+est() { curl -sfG "http://127.0.0.1:$1/api/v1/estimate" --data-urlencode "series=$probe"; }
+q "$port" >"$workdir/query_before.json"
+est "$port" >"$workdir/est_before.json"
+
+kill -KILL "$daemon"
+wait "$daemon" 2>/dev/null || true
+echo "chaos_smoke: SIGKILLed mid-scenario (after round 3 of 6)"
+
+start_daemon "$workdir/chaos2.log" "${dflags[@]}"
+grep -q "recovered $datadir" "$workdir/chaos2.log" || {
+    echo "chaos_smoke: no recovery line after restart" >&2
+    cat "$workdir/chaos2.log" >&2
+    exit 1
+}
+echo "chaos_smoke: restarted on port $port: $(grep 'recovered' "$workdir/chaos2.log")"
+
+# Bar 1: synced data is byte-identical — the recovered points array is
+# an exact prefix of the pre-crash one (the crash may only have cost the
+# unsealed, unsynced tail).
+q "$port" >"$workdir/query_after.json"
+pts() { sed -n 's/.*"points":\[\([^]]*\)\].*/\1/p' "$1"; }
+before_pts=$(pts "$workdir/query_before.json")
+after_pts=$(pts "$workdir/query_after.json")
+[ -n "$after_pts" ] || { echo "chaos_smoke: probe series lost across the crash" >&2; exit 1; }
+case "$before_pts" in
+"$after_pts"*) ;;
+*)
+    echo "chaos_smoke: recovered points are not a prefix of the pre-crash answer" >&2
+    diff <(echo "$before_pts" | head -c 2000) <(echo "$after_pts" | head -c 2000) >&2 || true
+    exit 1
+    ;;
+esac
+echo "chaos_smoke: recovered queries are an exact prefix of the pre-crash answer"
+
+# Bar 2: the probe series' estimate survived the crash.
+est "$port" >"$workdir/est_after.json"
+nyq() { sed -n 's/.*"nyquist_hz":\([0-9.e+-]*\).*/\1/p' "$1"; }
+before=$(nyq "$workdir/est_before.json")
+after=$(nyq "$workdir/est_after.json")
+awk -v a="$before" -v b="$after" 'BEGIN {
+    if (a <= 0 || b <= 0) { print "chaos_smoke: missing nyquist_hz (before=" a ", after=" b ")"; exit 1 }
+    rel = (a > b ? a - b : b - a) / a
+    if (rel > 0.25) { print "chaos_smoke: estimate lost across restart: " a " -> " b; exit 1 }
+}' || exit 1
+echo "chaos_smoke: estimate survived the crash ($before Hz -> $after Hz)"
+
+# Bar 3a: a duplicate replay of rounds [0,2) — all behind data the store
+# already recovered — must be rejected in full, not silently re-landed.
+"$workdir/monitorsim" -push "http://127.0.0.1:$port" -push-scenario "$regime" \
+    -seed "$seed" -devices "$devices" -push-begin 0 -push-end 2 | tee "$workdir/phaseB.log"
+totals() { sed -n 's/^push-scenario: totals //p' "$1"; }
+read -r b_emitted b_accepted b_rejected < <(totals "$workdir/phaseB.log" |
+    sed 's/.*emitted=\([0-9]*\).*accepted=\([0-9]*\) rejected=\([0-9]*\).*/\1 \2 \3/')
+if [ "$b_accepted" -ne 0 ] || [ "$b_rejected" -ne "$b_emitted" ]; then
+    echo "chaos_smoke: duplicate replay accounting: emitted=$b_emitted accepted=$b_accepted rejected=$b_rejected, want 0 accepted" >&2
+    exit 1
+fi
+echo "chaos_smoke: duplicate replay fully rejected ($b_rejected of $b_emitted)"
+
+# Bar 3b: the scenario's remaining rounds [3,6) land with truthful
+# accounting — fresh points accepted, the regime's late backfill
+# rejected, and nothing unaccounted for.
+"$workdir/monitorsim" -push "http://127.0.0.1:$port" -push-scenario "$regime" \
+    -seed "$seed" -devices "$devices" -push-begin 3 -push-end 6 | tee "$workdir/phaseC.log"
+read -r c_emitted c_accepted c_rejected < <(totals "$workdir/phaseC.log" |
+    sed 's/.*emitted=\([0-9]*\).*accepted=\([0-9]*\) rejected=\([0-9]*\).*/\1 \2 \3/')
+if [ "$c_accepted" -eq 0 ] || [ "$c_rejected" -eq 0 ] || [ $((c_accepted + c_rejected)) -ne "$c_emitted" ]; then
+    echo "chaos_smoke: post-restart accounting: emitted=$c_emitted accepted=$c_accepted rejected=$c_rejected" >&2
+    exit 1
+fi
+echo "chaos_smoke: scenario completed after restart (accepted=$c_accepted rejected=$c_rejected of $c_emitted)"
+
+# Bar 4: the background CRC scrub is live against the recovered WAL.
+sleep 0.5
+curl -sf "http://127.0.0.1:$port/api/v1/stats" >"$workdir/stats_after.json"
+grep -q '"scrub_runs":[1-9]' "$workdir/stats_after.json" || {
+    echo "chaos_smoke: background scrub never ran" >&2
+    cat "$workdir/stats_after.json" >&2
+    exit 1
+}
+grep -q '"scrub_corrupt":0' "$workdir/stats_after.json" || {
+    echo "chaos_smoke: scrub found corruption in a healthy WAL" >&2
+    cat "$workdir/stats_after.json" >&2
+    exit 1
+}
+echo "chaos_smoke: background scrub clean"
+
+kill -TERM "$daemon"
+rc=0
+wait "$daemon" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "chaos_smoke: nyquistd exited $rc on SIGTERM, want a clean 0" >&2
+    cat "$workdir/chaos2.log" >&2
+    exit 1
+fi
+grep -q "WAL sealed and committed" "$workdir/chaos2.log" || {
+    echo "chaos_smoke: no WAL-seal line on graceful shutdown" >&2
+    cat "$workdir/chaos2.log" >&2
+    exit 1
+}
+echo "chaos_smoke: PASS (crash mid-hostile-scenario, truthful recovery)"

@@ -35,11 +35,29 @@ wait_port() {
     return 1
 }
 
-log="$workdir/nyquistd.log"
-"$workdir/nyquistd" -addr 127.0.0.1:0 >"$log" 2>&1 &
-daemon=$!
+# start_daemon LOGFILE ARGS...: starts nyquistd with a bind retry (a
+# stale port or slow teardown must not flake the job); sets $daemon and
+# $port.
+start_daemon() {
+    local log=$1 attempt
+    shift
+    for attempt in 1 2 3; do
+        "$workdir/nyquistd" "$@" >"$log" 2>&1 &
+        daemon=$!
+        if port=$(wait_port "$log"); then
+            return 0
+        fi
+        kill "$daemon" 2>/dev/null || true
+        wait "$daemon" 2>/dev/null || true
+        echo "server_smoke: start attempt $attempt failed, retrying" >&2
+    done
+    echo "server_smoke: nyquistd failed to start after 3 attempts" >&2
+    cat "$log" >&2
+    return 1
+}
 
-port=$(wait_port "$log")
+log="$workdir/nyquistd.log"
+start_daemon "$log" -addr 127.0.0.1:0
 echo "server_smoke: nyquistd up on port $port"
 
 # The load generator exits non-zero when the server's estimate misses
@@ -65,10 +83,8 @@ echo "server_smoke: PASS phase 1 (clean shutdown)"
 # Phase 2: kill-and-restart durability.
 datadir="$workdir/data"
 dlog="$workdir/nyquistd-durable.log"
-"$workdir/nyquistd" -addr 127.0.0.1:0 -data-dir "$datadir" \
-    -fsync-every 2ms -state-every 100ms >"$dlog" 2>&1 &
-daemon=$!
-port=$(wait_port "$dlog")
+start_daemon "$dlog" -addr 127.0.0.1:0 -data-dir "$datadir" \
+    -fsync-every 2ms -state-every 100ms
 echo "server_smoke: durable nyquistd up on port $port (data dir $datadir)"
 
 "$workdir/monitorsim" -push "http://127.0.0.1:$port"
@@ -85,10 +101,8 @@ kill -KILL "$daemon"
 wait "$daemon" 2>/dev/null || true
 echo "server_smoke: SIGKILLed the durable daemon mid-flight"
 
-"$workdir/nyquistd" -addr 127.0.0.1:0 -data-dir "$datadir" \
-    -fsync-every 2ms -state-every 100ms >"$dlog.2" 2>&1 &
-daemon=$!
-port=$(wait_port "$dlog.2")
+start_daemon "$dlog.2" -addr 127.0.0.1:0 -data-dir "$datadir" \
+    -fsync-every 2ms -state-every 100ms
 grep -q "recovered $datadir" "$dlog.2" || { echo "server_smoke: no recovery line after restart" >&2; cat "$dlog.2" >&2; exit 1; }
 echo "server_smoke: restarted on port $port: $(grep 'recovered' "$dlog.2")"
 
