@@ -15,6 +15,15 @@
 // back serving identical queries and estimates for everything that was
 // synced. Without -data-dir it serves memory-only, as before.
 //
+// The daemon also observes itself: every subsystem reports into a
+// metrics registry served at GET /metrics (Prometheus text format),
+// requests carry IDs through structured logs (-log-level, -slow-query),
+// and -self-scrape closes the loop by periodically ingesting the
+// daemon's own metrics into its own store — the estimator then watches
+// the monitor like any other signal. /healthz is pure liveness;
+// /readyz flips to 200 only after WAL replay, so the listener can bind
+// before recovery without exposing a half-rebuilt store.
+//
 // Usage:
 //
 //	nyquistd [-addr :9464] [-shards 16] [-raw-capacity 4096]
@@ -22,7 +31,8 @@
 //	         [-window 256] [-emit-every 8] [-max-body 8388608]
 //	         [-max-series 1000000] [-evict-after -1]
 //	         [-data-dir DIR] [-fsync-every 10ms] [-snapshot-every 60s]
-//	         [-scrub-every 60s]
+//	         [-scrub-every 60s] [-self-scrape 0] [-debug-addr ADDR]
+//	         [-log-level info] [-slow-query 1s]
 //
 // The daemon prints "nyquistd: listening on HOST:PORT" once the socket
 // is bound (use -addr 127.0.0.1:0 to pick a free port: the printed line
@@ -37,8 +47,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only on -debug-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -71,8 +83,20 @@ func main() {
 		snapshotEvery = flag.Duration("snapshot-every", 60*time.Second, "snapshot/compaction cadence (negative = never)")
 		stateEvery    = flag.Duration("state-every", 15*time.Second, "estimator tuning-state record cadence (negative = only on shutdown/snapshot)")
 		scrubEvery    = flag.Duration("scrub-every", 60*time.Second, "background CRC scrub cadence over sealed WAL segments and the newest snapshot (negative = never)")
+
+		selfScrape = flag.Duration("self-scrape", 0, "interval for ingesting the daemon's own metrics into its own store (0 = off)")
+		debugAddr  = flag.String("debug-addr", "", "listen address for net/http/pprof (empty = off)")
+		logLevel   = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+		slowQuery  = flag.Duration("slow-query", time.Second, "request latency that triggers a warn-level slow log (negative = off)")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "nyquistd: bad -log-level %q (want debug, info, warn or error)\n", *logLevel)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	if *dataDir != "" && *compress <= 0 {
 		fmt.Fprintln(os.Stderr, "nyquistd: -data-dir requires -compress-block > 0 (the WAL persists sealed blocks)")
@@ -98,32 +122,20 @@ func main() {
 		EvictAfter:    *evictAfter,
 	})
 
-	var durable *wal.Durable
-	if *dataDir != "" {
-		var err error
-		durable, err = wal.Open(*dataDir, store, est, wal.Options{
-			FsyncEvery:    *fsyncEvery,
-			SegmentBytes:  *segmentBytes,
-			SnapshotEvery: *snapshotEvery,
-			StateEvery:    *stateEvery,
-			ScrubEvery:    *scrubEvery,
-		})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "nyquistd: open data dir: %v\n", err)
-			os.Exit(1)
-		}
-		ri := durable.Replay()
-		fmt.Printf("nyquistd: recovered %s: %d series, %d replayed points across %d segments (snapshot=%v, torn_tail=%v) in %v\n",
-			*dataDir, ri.Series, ri.Points, ri.Segments, ri.SnapshotLoaded, ri.TornTail, ri.Duration.Round(time.Millisecond))
-	}
-
 	srv := api.NewServer(api.Config{
 		Store:        store,
 		Estimator:    est,
-		WAL:          durable,
 		MaxBodyBytes: *maxBody,
+		Logger:       logger,
+		SlowQuery:    *slowQuery,
 	})
 
+	// Bind before WAL replay: probes and /metrics can watch a long
+	// recovery, while the readiness gate keeps the data endpoints at
+	// 503 until the store is whole.
+	if *dataDir != "" {
+		srv.SetReady(false)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nyquistd: %v\n", err)
@@ -141,6 +153,50 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
+	var durable *wal.Durable
+	if *dataDir != "" {
+		durable, err = wal.Open(*dataDir, store, est, wal.Options{
+			FsyncEvery:    *fsyncEvery,
+			SegmentBytes:  *segmentBytes,
+			SnapshotEvery: *snapshotEvery,
+			StateEvery:    *stateEvery,
+			ScrubEvery:    *scrubEvery,
+			SyncObserver:  srv.ObserveWALFsync,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nyquistd: open data dir: %v\n", err)
+			os.Exit(1)
+		}
+		srv.SetDurable(durable)
+		srv.SetReady(true)
+		ri := durable.Replay()
+		fmt.Printf("nyquistd: recovered %s: %d series, %d replayed points across %d segments (snapshot=%v, torn_tail=%v) in %v\n",
+			*dataDir, ri.Series, ri.Points, ri.Segments, ri.SnapshotLoaded, ri.TornTail, ri.Duration.Round(time.Millisecond))
+	}
+
+	var scraper *api.SelfScraper
+	if *selfScrape > 0 {
+		scraper = srv.NewSelfScraper(*selfScrape)
+		scraper.Start()
+		fmt.Printf("nyquistd: self-scrape every %v\n", *selfScrape)
+	}
+	if *debugAddr != "" {
+		// pprof rides the DefaultServeMux on its own listener, so
+		// profiling never shares a port with the data plane. Bind before
+		// announcing so ":0" prints the port the kernel actually picked.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nyquistd: debug listen %s: %v\n", *debugAddr, err)
+			os.Exit(1)
+		}
+		go func() {
+			if err := http.Serve(dln, nil); err != nil {
+				logger.Error("debug listener failed", "addr", dln.Addr(), "err", err)
+			}
+		}()
+		fmt.Printf("nyquistd: pprof on %s/debug/pprof/\n", dln.Addr())
+	}
+
 	select {
 	case err := <-errc:
 		fmt.Fprintf(os.Stderr, "nyquistd: serve: %v\n", err)
@@ -154,6 +210,11 @@ func main() {
 	if err := hs.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "nyquistd: shutdown: %v\n", err)
 		os.Exit(1)
+	}
+	if scraper != nil {
+		// Stop before the WAL closes so the final self-samples still
+		// ride the sealed tail.
+		scraper.Stop()
 	}
 	if durable != nil {
 		// Seal the active tails and commit the log so a graceful

@@ -12,7 +12,9 @@
 //	GET  /api/v1/estimate  live Nyquist estimate + poll advice for a series
 //	GET  /api/v1/series    stored series inventory (retention detail per id)
 //	GET  /api/v1/stats     whole-store operator stats
-//	GET  /healthz          liveness
+//	GET  /healthz          liveness (the process is up)
+//	GET  /readyz           readiness (WAL replay finished; safe to send traffic)
+//	GET  /metrics          Prometheus text exposition (internal/obs)
 //
 // Every ingested point lands in the store and feeds the series' live
 // estimator; clean estimates retune the series' retention tiers, so the
@@ -20,6 +22,12 @@
 // polled itself. Handlers are safe for concurrent use and stateless
 // beyond the store/estimator pair, so one Server can sit behind any
 // net/http server or mux.
+//
+// The server observes itself: every request passes the middleware chain
+// in middleware.go (request ID → per-route metrics/logging → panic
+// recovery), the full nyquistd_* metric inventory lives in metrics.go,
+// and the optional self-scrape loop (selfscrape.go) feeds those metrics
+// back into the server's own store as ordinary series.
 package api
 
 import (
@@ -29,12 +37,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/series"
 	"repro/internal/tsdb"
 	"repro/internal/wal"
@@ -64,6 +75,19 @@ type Config struct {
 	// MaxQueryPoints caps (and defaults) a query's point budget; zero
 	// selects 10000. Clients asking for more are thinned to this.
 	MaxQueryPoints int
+	// Metrics is the registry the server instruments itself into and
+	// serves at GET /metrics. Nil builds a fresh one — metrics are
+	// always on; the registry is only injectable so tests and embedders
+	// can read it.
+	Metrics *obs.Registry
+	// Logger receives structured request/error logs. Nil discards —
+	// embedders and benchmarks stay quiet by default; cmd/nyquistd
+	// passes a real handler.
+	Logger *slog.Logger
+	// SlowQuery is the request-latency threshold above which a request
+	// is logged at Warn with its query. Zero selects 1s; negative
+	// disables slow logging.
+	SlowQuery time.Duration
 }
 
 // DefaultStore returns the serving-default store configuration (see
@@ -91,9 +115,25 @@ type Server struct {
 	store  *monitor.Store
 	ingest *monitor.IngestEstimator
 	start  time.Time
+
+	metrics   *serverMetrics
+	logger    *slog.Logger
+	slowQuery time.Duration
+	reqSeq    atomic.Int64
+
+	// ready gates the data endpoints: false while the WAL replays into
+	// the store (the listener is already up so probes and /metrics can
+	// watch recovery), true once traffic is safe.
+	ready atomic.Bool
+	// walp is the durability layer, attached after replay via
+	// SetDurable; nil on memory-only servers. Atomic because metric
+	// gathers and handlers read it while startup writes it.
+	walp atomic.Pointer[wal.Durable]
 }
 
-// NewServer returns a Server over cfg.
+// NewServer returns a Server over cfg. The server starts ready; a boot
+// sequence that replays a WAL after the listener is up should call
+// SetReady(false) first and SetReady(true) when replay finishes.
 func NewServer(cfg Config) *Server {
 	if cfg.Store == nil {
 		cfg.Store = DefaultStore()
@@ -107,12 +147,29 @@ func NewServer(cfg Config) *Server {
 	if cfg.MaxQueryPoints <= 0 {
 		cfg.MaxQueryPoints = 10000
 	}
-	return &Server{
-		cfg:    cfg,
-		store:  cfg.Store,
-		ingest: cfg.Estimator,
-		start:  time.Now(),
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+	}
+	if cfg.SlowQuery == 0 {
+		cfg.SlowQuery = time.Second
+	}
+	s := &Server{
+		cfg:       cfg,
+		store:     cfg.Store,
+		ingest:    cfg.Estimator,
+		start:     time.Now(),
+		logger:    cfg.Logger,
+		slowQuery: cfg.SlowQuery,
+	}
+	if cfg.WAL != nil {
+		s.walp.Store(cfg.WAL)
+	}
+	s.metrics = newServerMetrics(cfg.Metrics, s.store, s.ingest, s.walp.Load, s.start)
+	s.ready.Store(true)
+	return s
 }
 
 // Store exposes the backing store (reporting, tests).
@@ -121,31 +178,61 @@ func (s *Server) Store() *monitor.Store { return s.store }
 // Ingest exposes the estimate-on-ingest hook (durability wiring, tests).
 func (s *Server) Ingest() *monitor.IngestEstimator { return s.ingest }
 
-// Handler returns the route mux. The returned handler is safe for
-// concurrent use.
-func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/v1/ingest", s.handleIngest)
-	mux.HandleFunc("GET /api/v1/query", s.handleQuery)
-	mux.HandleFunc("GET /api/v1/estimate", s.handleEstimate)
-	mux.HandleFunc("GET /api/v1/series", s.handleSeries)
-	mux.HandleFunc("GET /api/v1/stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+// Metrics exposes the server's registry (self-scrape loop, tests).
+func (s *Server) Metrics() *obs.Registry { return s.cfg.Metrics }
+
+// SetReady flips the readiness gate (see Server.ready).
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// SetDurable attaches the durability layer after boot replay, making
+// its stats visible to /api/v1/stats and the nyquistd_wal_* metrics.
+func (s *Server) SetDurable(d *wal.Durable) { s.walp.Store(d) }
+
+// ObserveWALFsync records one group-commit fsync duration — wire it to
+// wal.Options.SyncObserver. Safe from the log's commit path: one
+// histogram observe, no locks.
+func (s *Server) ObserveWALFsync(d time.Duration) {
+	s.metrics.walFsync.Observe(d.Seconds())
 }
 
-// writeJSON writes v with status code; encode failures surface as 500s
-// only if nothing was flushed yet.
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// Handler returns the instrumented route mux: every route passes the
+// middleware chain (request ID, in-flight gauge, panic recovery, then
+// per-route metrics/logging), and the data endpoints additionally gate
+// on readiness. The returned handler is safe for concurrent use.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST /api/v1/ingest", s.route("ingest", true, s.handleIngest))
+	mux.Handle("GET /api/v1/query", s.route("query", true, s.handleQuery))
+	mux.Handle("GET /api/v1/estimate", s.route("estimate", true, s.handleEstimate))
+	mux.Handle("GET /api/v1/series", s.route("series", true, s.handleSeries))
+	mux.Handle("GET /api/v1/stats", s.route("stats", false, s.handleStats))
+	mux.Handle("GET /healthz", s.route("healthz", false, s.handleHealthz))
+	mux.Handle("GET /readyz", s.route("readyz", false, s.handleReadyz))
+	mux.Handle("GET /metrics", s.route("metrics", false, s.cfg.Metrics.Handler().ServeHTTP))
+	return s.wrap(mux)
+}
+
+// writeJSON writes v with status code. An encode/write failure cannot
+// be reported to the client (the header is committed), so it is counted
+// and logged instead — a silent `_ = enc.Encode` is how response bugs
+// hide.
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.metrics.httpWriteErrs.Inc()
+		s.logger.Warn("response write failed",
+			"request_id", RequestIDFrom(r.Context()),
+			"path", r.URL.Path,
+			"status", code,
+			"err", err)
+	}
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, errorBody{Error: msg})
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, code int, msg string) {
+	s.writeJSON(w, r, code, errorBody{Error: msg})
 }
 
 // handleIngest consumes a JSON-lines batch (see IngestLine), appending
@@ -160,6 +247,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	const maxLineBytes = 1 << 20
 	body := bufio.NewReaderSize(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), 64<<10)
 	resp := IngestResponse{}
+	// Per-batch tallies, flushed into the registry once at the end: one
+	// atomic add per counter per request instead of per line keeps the
+	// instrumented hot path within its overhead budget.
+	var tally ingestTally
+	defer tally.flush(s.metrics)
 	// seen doubles as the per-request series-name intern table: the fast
 	// parser yields names as byte slices into the read buffer, and the
 	// map lookup with a string(bytes) key is allocation-free, so each
@@ -182,6 +274,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// still poison the series' interval probe and analysis window.
 		if aerr := s.store.Append(id, p); aerr != nil {
 			resp.reject(lineNo, appendReason(aerr))
+			switch {
+			case errors.Is(aerr, tsdb.ErrOutOfOrder):
+				tally.rejOutOfOrder++
+			case errors.Is(aerr, tsdb.ErrTimeRange):
+				tally.rejTimeRange++
+			default:
+				tally.rejStoreOther++
+			}
 			if isNew {
 				// Series counts series that landed points; un-intern so
 				// a later accepted point still counts it.
@@ -191,6 +291,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		if !s.ingest.Observe(id, p) {
 			resp.EstimatorDropped++
+			tally.estDropped++
 		}
 		resp.Accepted++
 		if isNew {
@@ -204,22 +305,27 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			switch line = bytes.TrimRight(line, "\r\n"); {
 			case len(line) > maxLineBytes:
 				resp.reject(lineNo, fmt.Sprintf("line exceeds %d bytes", maxLineBytes))
+				tally.rejTooLong++
 			case len(line) == 0 || allSpace(line):
 				// blank separator
 			default:
 				if fl, ok := fastParseLine(line); ok {
+					tally.fast++
 					id, isNew := intern(fl.series)
 					ingestPoint(id, series.Point{Time: fl.t, Value: fl.value}, isNew)
 					break
 				}
+				tally.fallback++
 				var in IngestLine
 				if jerr := json.Unmarshal(line, &in); jerr != nil {
 					resp.reject(lineNo, fmt.Sprintf("bad JSON: %v", jerr))
+					tally.rejBadJSON++
 					break
 				}
 				p, perr := in.point()
 				if perr != nil {
 					resp.reject(lineNo, perr.Error())
+					tally.rejBadShape++
 					break
 				}
 				id, isNew := intern([]byte(in.Series))
@@ -232,19 +338,48 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			}
 			var tooLarge *http.MaxBytesError
 			if errors.As(err, &tooLarge) {
-				writeError(w, http.StatusRequestEntityTooLarge,
+				tally.lines, tally.accepted, tally.rejected = int64(lineNo), int64(resp.Accepted), int64(resp.Rejected)
+				s.writeError(w, r, http.StatusRequestEntityTooLarge,
 					fmt.Sprintf("body exceeds %d bytes after %d accepted points; split the batch", s.cfg.MaxBodyBytes, resp.Accepted))
 				return
 			}
 			resp.reject(lineNo+1, err.Error())
+			tally.rejReadError++
 			break
 		}
 	}
+	tally.lines, tally.accepted, tally.rejected = int64(lineNo), int64(resp.Accepted), int64(resp.Rejected)
 	if resp.Accepted == 0 && resp.Rejected > 0 {
-		writeJSON(w, http.StatusBadRequest, resp)
+		s.writeJSON(w, r, http.StatusBadRequest, resp)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, r, http.StatusOK, resp)
+}
+
+// ingestTally accumulates one batch's metric deltas locally; flush
+// publishes them with a handful of atomic adds.
+type ingestTally struct {
+	lines, accepted, rejected, estDropped int64
+	fast, fallback                        int64
+	rejBadJSON, rejBadShape, rejTooLong   int64
+	rejOutOfOrder, rejTimeRange           int64
+	rejStoreOther, rejReadError           int64
+}
+
+func (t *ingestTally) flush(m *serverMetrics) {
+	m.batchLines.Observe(float64(t.lines))
+	m.ingestAccepted.Add(t.accepted)
+	m.ingestRejected.Add(t.rejected)
+	m.ingestEstDropped.Add(t.estDropped)
+	m.parseFast.Add(t.fast)
+	m.parseFallback.Add(t.fallback)
+	m.rejBadJSON.Add(t.rejBadJSON)
+	m.rejBadShape.Add(t.rejBadShape)
+	m.rejTooLong.Add(t.rejTooLong)
+	m.rejOutOfOrder.Add(t.rejOutOfOrder)
+	m.rejTimeRange.Add(t.rejTimeRange)
+	m.rejStoreOther.Add(t.rejStoreOther)
+	m.rejReadError.Add(t.rejReadError)
 }
 
 // appendReason renders a store rejection as an ingest error reason.
@@ -275,44 +410,50 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	id := q.Get("series")
 	if id == "" {
-		writeError(w, http.StatusBadRequest, "missing required parameter: series")
+		s.writeError(w, r, http.StatusBadRequest, "missing required parameter: series")
 		return
 	}
 	from, err := parseTimeParam(q.Get("from"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad from: "+err.Error())
+		s.writeError(w, r, http.StatusBadRequest, "bad from: "+err.Error())
 		return
 	}
 	to, err := parseTimeParam(q.Get("to"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad to: "+err.Error())
+		s.writeError(w, r, http.StatusBadRequest, "bad to: "+err.Error())
 		return
 	}
 	maxPoints := s.cfg.MaxQueryPoints
 	if v := q.Get("max_points"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
-			writeError(w, http.StatusBadRequest, "bad max_points: want a positive integer")
+			s.writeError(w, r, http.StatusBadRequest, "bad max_points: want a positive integer")
 			return
 		}
 		if n < maxPoints {
 			maxPoints = n
 		}
 	}
+	t0 := time.Now()
 	res, err := s.store.QueryRange(id, from, to, maxPoints)
+	s.metrics.querySeconds.ObserveSince(t0)
 	if err != nil {
 		// Only a genuinely unknown series is a 404. Any other store
 		// failure (e.g. a corrupt replayed block surfacing at read
 		// time) is a 500: masking it as "unknown series" would hide a
 		// durability problem behind an answer that looks routine.
 		if errors.Is(err, monitor.ErrNoSeries) {
-			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown series %q", id))
+			s.writeError(w, r, http.StatusNotFound, fmt.Sprintf("unknown series %q", id))
 			return
 		}
-		writeError(w, http.StatusInternalServerError, fmt.Sprintf("query %q: %v", id, err))
+		s.writeError(w, r, http.StatusInternalServerError, fmt.Sprintf("query %q: %v", id, err))
 		return
 	}
-	writeJSON(w, http.StatusOK, queryResponseFrom(res))
+	s.metrics.queryTiers.Observe(float64(len(res.Tiers)))
+	if res.Thinned {
+		s.metrics.queryThinned.Inc()
+	}
+	s.writeJSON(w, r, http.StatusOK, queryResponseFrom(res))
 }
 
 // handleEstimate answers the live per-series estimate and poll advice:
@@ -320,15 +461,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Query().Get("series")
 	if id == "" {
-		writeError(w, http.StatusBadRequest, "missing required parameter: series")
+		s.writeError(w, r, http.StatusBadRequest, "missing required parameter: series")
 		return
 	}
 	adv, ok := s.ingest.Advice(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("series %q was never ingested", id))
+		s.writeError(w, r, http.StatusNotFound, fmt.Sprintf("series %q was never ingested", id))
 		return
 	}
-	writeJSON(w, http.StatusOK, estimateResponseFrom(adv, s.store.NyquistRate(id)))
+	s.writeJSON(w, r, http.StatusOK, estimateResponseFrom(adv, s.store.NyquistRate(id)))
 }
 
 // handleSeries lists stored series; ?series= narrows to one id with
@@ -338,13 +479,13 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 		st, err := s.store.DB().SeriesStats(id)
 		if err != nil {
 			if errors.Is(err, monitor.ErrNoSeries) {
-				writeError(w, http.StatusNotFound, fmt.Sprintf("unknown series %q", id))
+				s.writeError(w, r, http.StatusNotFound, fmt.Sprintf("unknown series %q", id))
 				return
 			}
-			writeError(w, http.StatusInternalServerError, fmt.Sprintf("series %q: %v", id, err))
+			s.writeError(w, r, http.StatusInternalServerError, fmt.Sprintf("series %q: %v", id, err))
 			return
 		}
-		writeJSON(w, http.StatusOK, seriesEntryFrom(*st))
+		s.writeJSON(w, r, http.StatusOK, seriesEntryFrom(*st))
 		return
 	}
 	snap := s.store.Snapshot()
@@ -352,7 +493,7 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 	for _, st := range snap {
 		resp.Series = append(resp.Series, seriesEntryFrom(st))
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, r, http.StatusOK, resp)
 }
 
 // handleStats reports whole-store operator stats, including estimator
@@ -360,16 +501,36 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 // state.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var walStats *wal.Stats
-	if s.cfg.WAL != nil {
-		st := s.cfg.WAL.Stats()
+	if d := s.walp.Load(); d != nil {
+		st := d.Stats()
 		walStats = &st
 	}
-	writeJSON(w, http.StatusOK, statsResponseFrom(s.store.Stats(), s.ingest, walStats, time.Since(s.start)))
+	s.writeJSON(w, r, http.StatusOK, statsResponseFrom(s.store.Stats(), s.ingest, walStats, time.Since(s.start)))
 }
 
+// handleHealthz is pure liveness: the process is up and serving HTTP.
+// It never gates on readiness — an orchestrator that killed a replaying
+// process for being "unhealthy" would turn every long recovery into a
+// crash loop.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, r, http.StatusOK, map[string]any{
 		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+// handleReadyz is readiness: 200 once WAL replay finished and the data
+// endpoints accept traffic, 503 before.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		s.writeJSON(w, r, http.StatusServiceUnavailable, map[string]any{
+			"status": "starting",
+			"reason": "WAL replay in progress",
+		})
+		return
+	}
+	s.writeJSON(w, r, http.StatusOK, map[string]any{
+		"status":         "ready",
 		"uptime_seconds": time.Since(s.start).Seconds(),
 	})
 }

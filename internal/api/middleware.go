@@ -1,0 +1,176 @@
+// Request plumbing around the handlers: per-request IDs, the
+// status/bytes-recording ResponseWriter, the outer wrapper (in-flight
+// gauge + panic recovery), and the per-route instrumentation (latency,
+// status-class counts, body bytes, structured logs, readiness gate).
+// Panics stop here: a handler bug becomes a counted, logged 500 with a
+// request ID — never a torn connection with no trace.
+
+package api
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+type ctxKey int
+
+const requestIDKey ctxKey = 0
+
+// RequestIDFrom returns the request's ID ("" outside the middleware).
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// nextRequestID mints an ID unique within and across sessions: the
+// server's start time scopes the sequence, so IDs from before a restart
+// never collide with ones after.
+func (s *Server) nextRequestID() string {
+	return fmt.Sprintf("%x-%06d", s.start.UnixNano()&0xffffffff, s.reqSeq.Add(1))
+}
+
+// statusRecorder captures what left the wire: status code, body bytes,
+// and whether the header was committed (the recovery middleware may
+// only write a 500 while it is not).
+type statusRecorder struct {
+	http.ResponseWriter
+	status   int
+	bytes    int64
+	wrote    bool
+	writeErr bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.status = code
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if !r.wrote {
+		r.status = http.StatusOK
+		r.wrote = true
+	}
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	if err != nil {
+		r.writeErr = true
+	}
+	return n, err
+}
+
+// Flush passes through so streaming responses keep working behind the
+// recorder.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// wrap is the outermost middleware: request ID, in-flight gauge, and
+// panic recovery. Recovery is outermost-but-one so every inner layer —
+// route instrumentation included — is covered.
+func (s *Server) wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := s.nextRequestID()
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey, rid))
+		w.Header().Set("X-Request-Id", rid)
+		rec := &statusRecorder{ResponseWriter: w}
+		s.metrics.httpInFlight.Add(1)
+		defer s.metrics.httpInFlight.Add(-1)
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				// The sanctioned abort-this-connection panic: not a bug,
+				// not ours to swallow.
+				panic(p)
+			}
+			s.metrics.httpPanics.Inc()
+			s.logger.Error("handler panic",
+				"request_id", rid,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"panic", fmt.Sprint(p),
+				"stack", string(debug.Stack()))
+			if !rec.wrote {
+				s.writeError(rec, r, http.StatusInternalServerError, "internal error (request "+rid+")")
+			}
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}
+
+// route wraps one endpoint with its per-handler instrumentation. gated
+// routes answer 503 until SetReady(true) — the WAL-replay window —
+// while probes and /metrics stay reachable throughout.
+func (s *Server) route(name string, gated bool, h http.HandlerFunc) http.Handler {
+	latency := s.metrics.httpLatency.With(name)
+	bodyBytes := s.metrics.httpBodyBytes.With(name)
+	respBytes := s.metrics.httpRespBytes.With(name)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		if gated && !s.ready.Load() {
+			s.writeError(w, r, http.StatusServiceUnavailable, "starting: WAL replay in progress, retry shortly")
+		} else {
+			h(w, r)
+		}
+		elapsed := time.Since(t0)
+		latency.Observe(elapsed.Seconds())
+		if r.ContentLength > 0 {
+			bodyBytes.Add(r.ContentLength)
+		}
+		status := http.StatusOK
+		if rec, ok := w.(*statusRecorder); ok {
+			if rec.wrote {
+				status = rec.status
+			}
+			respBytes.Add(rec.bytes)
+		}
+		s.metrics.httpRequests.With(name, statusClass(status)).Inc()
+		if s.slowQuery > 0 && elapsed >= s.slowQuery {
+			s.logger.Warn("slow request",
+				"request_id", RequestIDFrom(r.Context()),
+				"handler", name,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"query", r.URL.RawQuery,
+				"status", status,
+				"elapsed", elapsed)
+		} else if s.logger.Enabled(r.Context(), slog.LevelDebug) {
+			s.logger.Debug("request",
+				"request_id", RequestIDFrom(r.Context()),
+				"handler", name,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", status,
+				"elapsed", elapsed)
+		}
+	})
+}
+
+// statusClass buckets a status code into the exposition label: "2xx",
+// "4xx", ... — per-code cardinality buys nothing at this endpoint
+// count.
+func statusClass(code int) string {
+	switch {
+	case code < 200:
+		return "1xx"
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}

@@ -43,6 +43,18 @@ type IngestEstimator struct {
 	// time (a quiet fleet should not age anything out).
 	clock atomic.Int64
 
+	// Lifecycle counters for the observability layer, atomic so the
+	// per-series fast path never takes the estimator lock to bump them:
+	// probes counts interval locks (a series graduating from the gap
+	// probe to a live analysis window), reprobes the drift-triggered
+	// re-locks, retunes the clean-streak SetNyquist handoffs, and
+	// aliasedRefreshes every estimate refresh carrying the aliased
+	// signature.
+	probes           atomic.Int64
+	reprobesTotal    atomic.Int64
+	retunes          atomic.Int64
+	aliasedRefreshes atomic.Int64
+
 	mu     sync.RWMutex
 	series map[string]*ingestSeries
 	// rejected counts observations dropped because MaxSeries was hit.
@@ -246,6 +258,7 @@ func (e *IngestEstimator) Observe(id string, p series.Point) bool {
 			}
 			if s.drift > e.cfg.ProbeGaps {
 				s.reprobe(p)
+				e.reprobesTotal.Add(1)
 				return true
 			}
 		}
@@ -257,12 +270,16 @@ func (e *IngestEstimator) Observe(id string, p series.Point) bool {
 			s.cleanStreak++
 			if s.cleanStreak >= e.cfg.RetuneCleanStreak {
 				s.lastNyquist = up.Result.NyquistRate
+				e.retunes.Add(1)
 				if e.store != nil {
 					e.store.SetNyquist(id, up.Result.NyquistRate)
 				}
 			}
 		} else {
 			s.cleanStreak = 0
+			if up.Err != nil {
+				e.aliasedRefreshes.Add(1)
+			}
 		}
 	}
 	return true
@@ -358,6 +375,7 @@ func (s *ingestSeries) probe(e *IngestEstimator, id string, p series.Point) {
 	}
 	s.est = est
 	s.interval = interval
+	e.probes.Add(1)
 	for _, q := range s.pending {
 		if up := s.est.Push(q.Value); up != nil {
 			s.last = up
@@ -449,6 +467,22 @@ func (e *IngestEstimator) Evicted() int64 {
 // Config returns the estimator's effective configuration (defaults
 // applied).
 func (e *IngestEstimator) Config() IngestConfig { return e.cfg }
+
+// Probes returns the number of interval locks: series that graduated
+// from the gap probe to a live analysis window.
+func (e *IngestEstimator) Probes() int64 { return e.probes.Load() }
+
+// Reprobes returns the number of drift-triggered interval re-locks
+// across all series.
+func (e *IngestEstimator) Reprobes() int64 { return e.reprobesTotal.Load() }
+
+// Retunes returns the number of clean-streak estimate refreshes that
+// (re)tuned retention via SetNyquist.
+func (e *IngestEstimator) Retunes() int64 { return e.retunes.Load() }
+
+// AliasedRefreshes returns the number of estimate refreshes that
+// carried the aliased signature — the fleet-wide under-sampling pulse.
+func (e *IngestEstimator) AliasedRefreshes() int64 { return e.aliasedRefreshes.Load() }
 
 // IngestSeriesState is one series' durable tuning state: everything a
 // restarted estimator needs to keep giving the same advice without

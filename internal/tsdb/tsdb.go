@@ -143,6 +143,10 @@ type DB struct {
 	// sealHook, when set, observes every raw block the moment it is
 	// sealed (see OnSeal).
 	sealHook atomic.Pointer[SealHook]
+	// sealedBlocks counts raw blocks sealed over the DB's lifetime
+	// (append-filled and force-sealed alike) — the write-side block
+	// cadence the observability layer watches.
+	sealedBlocks atomic.Int64
 }
 
 // SealHook observes one sealed raw block. Hooks run under the owning
@@ -265,6 +269,7 @@ func (db *DB) drainSealed(id string, m *memSeries) {
 	if len(sealed) == 0 {
 		return
 	}
+	db.sealedBlocks.Add(int64(len(sealed)))
 	if h := db.hook(); h != nil {
 		for _, blk := range sealed {
 			h(id, blk)
@@ -290,6 +295,7 @@ func (db *DB) SealAll() int {
 			m.craw.seal()
 			for _, blk := range m.craw.takeSealed() {
 				total++
+				db.sealedBlocks.Add(1)
 				if h != nil {
 					h(id, blk)
 				}
@@ -385,9 +391,13 @@ func (db *DB) Points() int {
 	return total
 }
 
+// SealedBlocks returns the number of raw compressed blocks sealed over
+// the DB's lifetime (0 on uncompressed stores).
+func (db *DB) SealedBlocks() int64 { return db.sealedBlocks.Load() }
+
 // Stats aggregates the whole database for operator reporting.
 func (db *DB) Stats() Stats {
-	st := Stats{Shards: len(db.shards), SeriesPerShard: make([]int, len(db.shards))}
+	st := Stats{Shards: len(db.shards), SeriesPerShard: make([]int, len(db.shards)), SealedBlocks: db.sealedBlocks.Load()}
 	for i := range db.shards {
 		sh := &db.shards[i]
 		sh.mu.RLock()
@@ -461,6 +471,9 @@ type Stats struct {
 	// blocks hold; CompressedBytes/CompressedEntries is the achieved
 	// bytes-per-point figure.
 	CompressedEntries int64
+	// SealedBlocks counts raw blocks sealed over the DB's lifetime
+	// (append-filled plus force-sealed; 0 on uncompressed stores).
+	SealedBlocks int64
 	// SeriesPerShard is the series count per shard (load-balance view).
 	SeriesPerShard []int
 }

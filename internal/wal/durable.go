@@ -45,6 +45,10 @@ type Options struct {
 	// replay, when the good copy in memory is already gone. Zero selects
 	// 60s, negative disables (Scrub can still be called manually).
 	ScrubEvery time.Duration
+	// SyncObserver, when set, is called with each group commit's fsync
+	// wall time (see LogOptions.SyncObserver). It runs with the log's
+	// mutex held, so it must be fast and nonblocking.
+	SyncObserver func(time.Duration)
 }
 
 func (o Options) withDefaults() Options {
@@ -179,7 +183,11 @@ func Open(dir string, store *monitor.Store, est *monitor.IngestEstimator, opts O
 	if err := d.recover(); err != nil {
 		return nil, err
 	}
-	log, err := openLog(dir, LogOptions{FsyncEvery: d.opts.FsyncEvery, SegmentBytes: d.opts.SegmentBytes})
+	log, err := openLog(dir, LogOptions{
+		FsyncEvery:   d.opts.FsyncEvery,
+		SegmentBytes: d.opts.SegmentBytes,
+		SyncObserver: d.opts.SyncObserver,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -75,6 +75,11 @@ type LogOptions struct {
 	// SegmentBytes rotates the live segment once it exceeds this size;
 	// zero selects 64 MiB.
 	SegmentBytes int64
+	// SyncObserver, when set, observes the wall time of every flush+fsync
+	// the log issues — the observability layer's fsync-latency histogram.
+	// It is called with the log's mutex held, so it must be fast and
+	// nonblocking (an atomic histogram observe, not I/O).
+	SyncObserver func(time.Duration)
 }
 
 func (o LogOptions) withDefaults() LogOptions {
@@ -98,6 +103,9 @@ type LogStats struct {
 	Records int64
 	// Syncs counts fsyncs issued this session.
 	Syncs int64
+	// Rotations counts segment rotations this session (size-triggered
+	// plus snapshot-boundary rotations).
+	Rotations int64
 	// Errors counts failed appends, syncs and rotations this session —
 	// a non-zero value means durability is degraded (disk full, EIO)
 	// even though ingest keeps serving; LastError is the most recent
@@ -113,20 +121,21 @@ type Log struct {
 	dir  string
 	opts LogOptions
 
-	mu       sync.Mutex
-	f        *os.File
-	w        *bufio.Writer
-	seg      uint64 // current segment index
-	startSeg uint64 // first segment opened by this session (scrub floor)
-	segBytes int64  // bytes written to the current segment
-	oldBytes int64  // bytes in older (already sealed) live segments
-	segCount int
-	dirty    bool
-	records  int64
-	syncs    int64
-	errors   int64
-	lastErr  string
-	closed   bool
+	mu        sync.Mutex
+	f         *os.File
+	w         *bufio.Writer
+	seg       uint64 // current segment index
+	startSeg  uint64 // first segment opened by this session (scrub floor)
+	segBytes  int64  // bytes written to the current segment
+	oldBytes  int64  // bytes in older (already sealed) live segments
+	segCount  int
+	dirty     bool
+	records   int64
+	syncs     int64
+	rotations int64
+	errors    int64
+	lastErr   string
+	closed    bool
 
 	stopc chan struct{}
 	donec chan struct{}
@@ -312,6 +321,7 @@ func (l *Log) syncLocked() error {
 	if !l.dirty {
 		return nil
 	}
+	begin := time.Now()
 	if err := l.w.Flush(); err != nil {
 		return err
 	}
@@ -320,6 +330,9 @@ func (l *Log) syncLocked() error {
 	}
 	l.dirty = false
 	l.syncs++
+	if l.opts.SyncObserver != nil {
+		l.opts.SyncObserver(time.Since(begin))
+	}
 	return nil
 }
 
@@ -346,6 +359,7 @@ func (l *Log) rotateLocked() (uint64, error) {
 	}
 	l.oldBytes += l.segBytes
 	l.segCount++
+	l.rotations++
 	if err := l.openSegment(l.seg + 1); err != nil {
 		return 0, err
 	}
@@ -471,6 +485,7 @@ func (l *Log) Stats() LogStats {
 		Bytes:     l.oldBytes + l.segBytes,
 		Records:   l.records,
 		Syncs:     l.syncs,
+		Rotations: l.rotations,
 		Errors:    l.errors,
 		LastError: l.lastErr,
 	}

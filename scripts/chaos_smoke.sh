@@ -17,6 +17,10 @@
 #     the scenario's remaining rounds land with exact
 #     accepted+rejected=emitted accounting,
 #   - the background CRC scrub has run against the recovered WAL,
+#   - the self-scrape view survives the crash: nyquistd_* series the
+#     daemon ingested about itself recover from the WAL like any tenant
+#     series (pre-crash samples present after restart, not merely
+#     recreated by the restarted loop),
 #
 # then the daemon must still shut down gracefully (WAL sealed).
 set -euo pipefail
@@ -71,9 +75,23 @@ seed=7
 devices=8
 datadir="$workdir/data"
 dflags=(-addr 127.0.0.1:0 -data-dir "$datadir" -window 64 -compress-block 32
-    -fsync-every 2ms -state-every 100ms -snapshot-every=-1s -scrub-every 200ms)
+    -fsync-every 2ms -state-every 100ms -snapshot-every=-1s -scrub-every 200ms
+    -self-scrape 50ms)
+
+# wait_ready PORT: the listener binds before WAL replay; data endpoints
+# 503 until /readyz flips.
+wait_ready() {
+    local p=$1
+    for _ in $(seq 1 100); do
+        curl -sf "http://127.0.0.1:$p/readyz" >/dev/null 2>&1 && return 0
+        sleep 0.1
+    done
+    echo "chaos_smoke: nyquistd never became ready" >&2
+    return 1
+}
 
 start_daemon "$workdir/chaos1.log" "${dflags[@]}"
+wait_ready "$port"
 echo "chaos_smoke: nyquistd up on port $port (data dir $datadir)"
 
 # Phase A: the first half of the scenario, rounds [0,3).
@@ -90,11 +108,28 @@ est() { curl -sfG "http://127.0.0.1:$1/api/v1/estimate" --data-urlencode "series
 q "$port" >"$workdir/query_before.json"
 est "$port" >"$workdir/est_before.json"
 
+# Self-scrape durability setup: at -self-scrape 50ms and -compress-block
+# 32 a nyquistd_up block seals (and hits the WAL) after ~1.6s of
+# scraping. Wait for enough self-samples that at least one sealed block
+# is on disk, then pin the first pre-crash timestamp.
+selfq() { curl -sfG "http://127.0.0.1:$1/api/v1/query" --data-urlencode "series=nyquistd_up" --data-urlencode "max_points=100000"; }
+self_n=0
+for _ in $(seq 1 150); do
+    self_n=$(selfq "$port" 2>/dev/null | grep -o '"value":' | wc -l) || self_n=0
+    [ "${self_n:-0}" -ge 40 ] && break
+    sleep 0.1
+done
+[ "${self_n:-0}" -ge 40 ] || { echo "chaos_smoke: self-scrape produced only ${self_n:-0} samples" >&2; exit 1; }
+selfq "$port" >"$workdir/self_before.json"
+self_first_ts=$(sed -n 's/.*"points":\[{"ts":"\([^"]*\)".*/\1/p' "$workdir/self_before.json")
+[ -n "$self_first_ts" ] || { echo "chaos_smoke: no first timestamp in the self-view" >&2; exit 1; }
+
 kill -KILL "$daemon"
 wait "$daemon" 2>/dev/null || true
 echo "chaos_smoke: SIGKILLed mid-scenario (after round 3 of 6)"
 
 start_daemon "$workdir/chaos2.log" "${dflags[@]}"
+wait_ready "$port"
 grep -q "recovered $datadir" "$workdir/chaos2.log" || {
     echo "chaos_smoke: no recovery line after restart" >&2
     cat "$workdir/chaos2.log" >&2
@@ -172,6 +207,23 @@ grep -q '"scrub_corrupt":0' "$workdir/stats_after.json" || {
     exit 1
 }
 echo "chaos_smoke: background scrub clean"
+
+# Bar 5: the self-view survived the SIGKILL. The restarted daemon's own
+# loop recreates nyquistd_up within 50ms, so mere existence proves
+# nothing — the pre-crash first timestamp must be present, which only
+# WAL replay of the sealed self-scrape blocks can produce.
+selfq "$port" >"$workdir/self_after.json"
+grep -qF "\"ts\":\"$self_first_ts\"" "$workdir/self_after.json" || {
+    echo "chaos_smoke: pre-crash self-scrape sample ($self_first_ts) missing after restart" >&2
+    head -c 1000 "$workdir/self_after.json" >&2
+    exit 1
+}
+self_recovered=$(grep -o '"value":' "$workdir/self_after.json" | wc -l)
+[ "$self_recovered" -ge 32 ] || {
+    echo "chaos_smoke: only $self_recovered self-scrape samples after restart, want >= one sealed block (32)" >&2
+    exit 1
+}
+echo "chaos_smoke: self-scrape view survived the crash ($self_recovered nyquistd_up samples, first at $self_first_ts)"
 
 kill -TERM "$daemon"
 rc=0

@@ -35,6 +35,22 @@ wait_port() {
     return 1
 }
 
+# wait_ready PORT: blocks until /readyz answers 200. The listener binds
+# before WAL replay, so a durable daemon can briefly 503 its data
+# endpoints after the port is up — that window is exactly what /readyz
+# exists to cover.
+wait_ready() {
+    local p=$1
+    for _ in $(seq 1 100); do
+        if curl -sf "http://127.0.0.1:$p/readyz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "server_smoke: nyquistd never became ready" >&2
+    return 1
+}
+
 # start_daemon LOGFILE ARGS...: starts nyquistd with a bind retry (a
 # stale port or slow teardown must not flake the job); sets $daemon and
 # $port.
@@ -65,8 +81,36 @@ echo "server_smoke: nyquistd up on port $port"
 "$workdir/monitorsim" -push "http://127.0.0.1:$port"
 
 curl -sf "http://127.0.0.1:$port/healthz" >/dev/null
+curl -sf "http://127.0.0.1:$port/readyz" >/dev/null
 curl -sf "http://127.0.0.1:$port/api/v1/stats" | tee "$workdir/stats.json"
 echo
+
+# Live /metrics scrape: the exposition must parse (every non-comment
+# line is NAME[{LABELS}] VALUE) and the core families must be present
+# with the traffic just pushed accounted for.
+curl -sf "http://127.0.0.1:$port/metrics" >"$workdir/metrics.txt"
+bad=$(grep -vE '^(#|$)' "$workdir/metrics.txt" \
+    | grep -cvE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|\+Inf|-Inf|NaN)$' || true)
+if [ "$bad" -ne 0 ]; then
+    echo "server_smoke: $bad malformed exposition lines in /metrics" >&2
+    grep -vE '^(#|$)' "$workdir/metrics.txt" \
+        | grep -vE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|\+Inf|-Inf|NaN)$' | head -5 >&2
+    exit 1
+fi
+for fam in nyquistd_http_requests_total nyquistd_http_request_seconds \
+    nyquistd_ingest_points_total nyquistd_ingest_parse_total \
+    nyquistd_query_seconds nyquistd_tsdb_appends_total \
+    nyquistd_tsdb_series nyquistd_wal_enabled nyquistd_wal_fsync_seconds \
+    nyquistd_estimator_series nyquistd_estimator_probes_total nyquistd_up; do
+    grep -q "^# TYPE $fam " "$workdir/metrics.txt" || {
+        echo "server_smoke: /metrics missing family $fam" >&2; exit 1; }
+done
+accepted=$(sed -n 's/^nyquistd_ingest_points_total{result="accepted"} \([0-9]*\)$/\1/p' "$workdir/metrics.txt")
+if [ -z "$accepted" ] || [ "$accepted" -eq 0 ]; then
+    echo "server_smoke: /metrics did not account for the pushed points (accepted=$accepted)" >&2
+    exit 1
+fi
+echo "server_smoke: /metrics clean ($(grep -c '^# TYPE' "$workdir/metrics.txt") families, $accepted accepted points)"
 
 kill -TERM "$daemon"
 rc=0
@@ -85,6 +129,7 @@ datadir="$workdir/data"
 dlog="$workdir/nyquistd-durable.log"
 start_daemon "$dlog" -addr 127.0.0.1:0 -data-dir "$datadir" \
     -fsync-every 2ms -state-every 100ms
+wait_ready "$port"
 echo "server_smoke: durable nyquistd up on port $port (data dir $datadir)"
 
 "$workdir/monitorsim" -push "http://127.0.0.1:$port"
@@ -103,6 +148,7 @@ echo "server_smoke: SIGKILLed the durable daemon mid-flight"
 
 start_daemon "$dlog.2" -addr 127.0.0.1:0 -data-dir "$datadir" \
     -fsync-every 2ms -state-every 100ms
+wait_ready "$port"
 grep -q "recovered $datadir" "$dlog.2" || { echo "server_smoke: no recovery line after restart" >&2; cat "$dlog.2" >&2; exit 1; }
 echo "server_smoke: restarted on port $port: $(grep 'recovered' "$dlog.2")"
 
