@@ -28,6 +28,7 @@
 //
 //	nyquistd [-addr :9464] [-shards 16] [-raw-capacity 4096]
 //	         [-tier-capacity 1024] [-tiers 2] [-compress-block 128]
+//	         [-cache-bytes 33554432]
 //	         [-window 256] [-emit-every 8] [-max-body 8388608]
 //	         [-max-series 1000000] [-evict-after -1]
 //	         [-data-dir DIR] [-fsync-every 10ms] [-snapshot-every 60s]
@@ -70,6 +71,7 @@ func main() {
 		tierCapacity = flag.Int("tier-capacity", 1024, "per-tier capacity in buckets")
 		tiers        = flag.Int("tiers", 2, "downsampled retention tiers below the raw ring")
 		compress     = flag.Int("compress-block", 128, "points per sealed Gorilla block (0 = uncompressed rings)")
+		cacheBytes   = flag.Int64("cache-bytes", 32<<20, "decoded-block query cache budget in bytes, split across shards (0 = off; only used with -compress-block > 0)")
 		window       = flag.Int("window", 256, "per-series streaming-estimator window in samples")
 		emitEvery    = flag.Int("emit-every", 8, "samples between estimate refreshes once a window is full")
 		maxSeries    = flag.Int("max-series", 1_000_000, "estimator series cap; new series beyond it are stored but not estimated (0 = unbounded)")
@@ -108,6 +110,7 @@ func main() {
 		// (out of order, unrepresentable timestamp) is reported to the
 		// client as rejected — and, when durable, never reaches the WAL.
 		StrictAppend: true,
+		CacheBytes:   *cacheBytes,
 		Retention: tsdb.RetentionConfig{
 			RawCapacity:   *rawCapacity,
 			TierCapacity:  *tierCapacity,

@@ -8,7 +8,10 @@
 // Endpoints (all JSON; see docs/API.md for schemas and curl examples):
 //
 //	POST /api/v1/ingest    batch ingest, one JSON object per line
-//	GET  /api/v1/query     tier-stitched range read with a point budget
+//	GET  /api/v1/query     tier-stitched range read with a point budget;
+//	                       ?match= fans one request across a series family,
+//	                       ?reconstruct=&step= resamples server-side onto a
+//	                       uniform grid (see reconstruct.go)
 //	GET  /api/v1/estimate  live Nyquist estimate + poll advice for a series
 //	GET  /api/v1/series    stored series inventory (retention detail per id)
 //	GET  /api/v1/stats     whole-store operator stats
@@ -73,8 +76,13 @@ type Config struct {
 	// MaxBodyBytes bounds an ingest request body; zero selects 8 MiB.
 	MaxBodyBytes int64
 	// MaxQueryPoints caps (and defaults) a query's point budget; zero
-	// selects 10000. Clients asking for more are thinned to this.
+	// selects 10000. Clients asking for more are thinned to this (the
+	// response carries "clamped": true when that happens).
 	MaxQueryPoints int
+	// MaxQuerySeries caps how many series one ?match= query may answer;
+	// zero selects 512. Extra matches are cut deterministically (smallest
+	// ids win) and reported via "truncated": true.
+	MaxQuerySeries int
 	// Metrics is the registry the server instruments itself into and
 	// serves at GET /metrics. Nil builds a fresh one — metrics are
 	// always on; the registry is only injectable so tests and embedders
@@ -99,6 +107,7 @@ func DefaultStore() *monitor.Store {
 	return monitor.NewTieredStore(tsdb.Config{
 		Shards:       16,
 		StrictAppend: true,
+		CacheBytes:   32 << 20,
 		Retention: tsdb.RetentionConfig{
 			RawCapacity:   4096,
 			TierCapacity:  1024,
@@ -146,6 +155,9 @@ func NewServer(cfg Config) *Server {
 	}
 	if cfg.MaxQueryPoints <= 0 {
 		cfg.MaxQueryPoints = 10000
+	}
+	if cfg.MaxQuerySeries <= 0 {
+		cfg.MaxQuerySeries = 512
 	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewRegistry()
@@ -403,14 +415,22 @@ func allSpace(b []byte) bool {
 	return true
 }
 
-// handleQuery answers a tier-stitched range read: ?series= (required),
-// optional from/to (RFC3339 or Unix seconds; absent = unbounded) and
-// max_points (defaulted and capped by MaxQueryPoints).
+// handleQuery answers a tier-stitched range read: ?series= (one id) or
+// ?match= (prefix/glob over the id space), optional from/to (RFC3339 or
+// Unix seconds; absent = unbounded), max_points (defaulted and capped
+// by MaxQueryPoints; a request above the cap is clamped and says so),
+// and reconstruct=/step= for server-side resampling onto a uniform grid
+// (see reconstruct.go).
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	id := q.Get("series")
-	if id == "" {
-		s.writeError(w, r, http.StatusBadRequest, "missing required parameter: series")
+	pattern := q.Get("match")
+	switch {
+	case id == "" && pattern == "":
+		s.writeError(w, r, http.StatusBadRequest, "missing required parameter: series (or match)")
+		return
+	case id != "" && pattern != "":
+		s.writeError(w, r, http.StatusBadRequest, "series and match are mutually exclusive")
 		return
 	}
 	from, err := parseTimeParam(q.Get("from"))
@@ -423,7 +443,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, "bad to: "+err.Error())
 		return
 	}
+	// An inverted range is a client bug (swapped parameters, a broken
+	// dashboard time picker), not an empty window: answering 200 [] hides
+	// it. Reject loudly.
+	if !from.IsZero() && !to.IsZero() && from.After(to) {
+		s.writeError(w, r, http.StatusBadRequest, "bad range: from after to")
+		return
+	}
 	maxPoints := s.cfg.MaxQueryPoints
+	clamped := false
 	if v := q.Get("max_points"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
@@ -432,7 +460,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		if n < maxPoints {
 			maxPoints = n
+		} else if n > maxPoints {
+			// The budget silently shrinking under a dashboard that asked
+			// for more is how "why is my graph decimated" tickets happen:
+			// honor the cap but say so in the response.
+			clamped = true
+			s.metrics.queryClamped.Inc()
 		}
+	}
+	spec, err := parseReconstruct(q)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	if pattern != "" {
+		s.handleQueryMatch(w, r, pattern, from, to, maxPoints, clamped, spec)
+		return
 	}
 	t0 := time.Now()
 	res, err := s.store.QueryRange(id, from, to, maxPoints)
@@ -453,7 +496,78 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if res.Thinned {
 		s.metrics.queryThinned.Inc()
 	}
-	s.writeJSON(w, r, http.StatusOK, queryResponseFrom(res))
+	resp := queryResponseFrom(res)
+	resp.Clamped = clamped
+	if spec.want {
+		rec, err := reconstruct(res, spec, s.store.NyquistRate(id), from, maxPoints)
+		if err != nil {
+			s.writeError(w, r, http.StatusInternalServerError, fmt.Sprintf("reconstruct %q: %v", id, err))
+			return
+		}
+		applyReconstruction(&resp, rec)
+	}
+	s.writeJSON(w, r, http.StatusOK, resp)
+}
+
+// handleQueryMatch is the multi-series fan-in: one request answers every
+// series matching the pattern, sharing one point budget. Zero matches is
+// a 200 with an empty result set — dashboards poll patterns before the
+// fleet reports in, and a 404 would page someone over an empty rack.
+func (s *Server) handleQueryMatch(w http.ResponseWriter, r *http.Request, pattern string, from, to time.Time, maxPoints int, clamped bool, spec reconstructSpec) {
+	t0 := time.Now()
+	mres := s.store.QueryMatch(pattern, from, to, maxPoints, s.cfg.MaxQuerySeries)
+	s.metrics.querySeconds.ObserveSince(t0)
+	s.metrics.queryMatchSeries.Observe(float64(len(mres.Results)))
+	resp := MatchResponse{
+		Match:     pattern,
+		Matches:   mres.Matches,
+		Truncated: mres.Truncated,
+		Clamped:   clamped,
+		Results:   make([]QueryResponse, 0, len(mres.Results)),
+	}
+	// The per-series reconstruction budget mirrors the store's split of
+	// the shared point budget.
+	perBudget := maxPoints
+	if len(mres.Results) > 0 {
+		perBudget = maxPoints / len(mres.Results)
+		if perBudget < 1 {
+			perBudget = 1
+		}
+	}
+	for _, res := range mres.Results {
+		s.metrics.queryTiers.Observe(float64(len(res.Tiers)))
+		if res.Thinned {
+			s.metrics.queryThinned.Inc()
+		}
+		qr := queryResponseFrom(res)
+		if spec.want {
+			rec, err := reconstruct(res, spec, s.store.NyquistRate(res.ID), from, perBudget)
+			if err != nil {
+				s.writeError(w, r, http.StatusInternalServerError, fmt.Sprintf("reconstruct %q: %v", res.ID, err))
+				return
+			}
+			applyReconstruction(&qr, rec)
+			if qr.Clamped {
+				resp.Clamped = true
+			}
+		}
+		resp.Results = append(resp.Results, qr)
+	}
+	s.writeJSON(w, r, http.StatusOK, resp)
+}
+
+// applyReconstruction swaps a response's stored points for the
+// reconstructed grid and annotates how the grid was produced.
+func applyReconstruction(resp *QueryResponse, rec reconstruction) {
+	resp.Points = make([]PointJSON, 0, len(rec.pts))
+	for _, p := range rec.pts {
+		resp.Points = append(resp.Points, PointJSON{TS: wireTime(p.Time), Value: p.Value})
+	}
+	resp.Reconstruct = rec.mode
+	resp.StepSeconds = rec.step.Seconds()
+	if rec.clamped {
+		resp.Clamped = true
+	}
 }
 
 // handleEstimate answers the live per-series estimate and poll advice:

@@ -79,9 +79,11 @@ type serverMetrics struct {
 	rejReadError  *obs.Counter
 
 	// Read path.
-	querySeconds *obs.Histogram
-	queryTiers   *obs.Histogram
-	queryThinned *obs.Counter
+	querySeconds     *obs.Histogram
+	queryTiers       *obs.Histogram
+	queryThinned     *obs.Counter
+	queryClamped     *obs.Counter
+	queryMatchSeries *obs.Histogram
 
 	// Durability: fsync wall time, fed through Server.ObserveWALFsync
 	// from the log's group-commit path.
@@ -141,6 +143,10 @@ func newServerMetrics(reg *obs.Registry, store *monitor.Store, est *monitor.Inge
 		"Storage tiers contributing per query (1 = raw ring only).", queryTierBuckets)
 	m.queryThinned = reg.Counter("nyquistd_query_thinned_total",
 		"Queries whose stitched result exceeded the point budget and was stride-decimated.")
+	m.queryClamped = reg.Counter("nyquistd_query_clamped_total",
+		"Queries whose max_points exceeded the server cap and were clamped to it.")
+	m.queryMatchSeries = reg.Histogram("nyquistd_query_match_series",
+		"Series answered per ?match= fan-in query.", obs.SizeBuckets)
 
 	m.walFsync = reg.Histogram("nyquistd_wal_fsync_seconds",
 		"WAL group-commit fsync wall time.", obs.LatencyBuckets)
@@ -166,6 +172,21 @@ func newServerMetrics(reg *obs.Registry, store *monitor.Store, est *monitor.Inge
 		func() float64 { return float64(ts.get().CompressedBytes) })
 	reg.GaugeFunc("nyquistd_tsdb_compressed_entries", "Points and buckets held in sealed blocks.",
 		func() float64 { return float64(ts.get().CompressedEntries) })
+
+	reg.CounterFunc("nyquistd_query_cache_hits_total", "Sealed-block decodes served from the decoded-block cache.",
+		func() float64 { return float64(ts.get().Cache.Hits) })
+	reg.CounterFunc("nyquistd_query_cache_misses_total", "Sealed-block decodes that missed the cache and ran the codec.",
+		func() float64 { return float64(ts.get().Cache.Misses) })
+	reg.CounterFunc("nyquistd_query_cache_evictions_total", "Decoded-block cache entries LRU-evicted at the byte budget.",
+		func() float64 { return float64(ts.get().Cache.Evictions) })
+	reg.CounterFunc("nyquistd_query_cache_invalidations_total", "Decoded-block cache entries dropped because their block left retention.",
+		func() float64 { return float64(ts.get().Cache.Invalidations) })
+	reg.GaugeFunc("nyquistd_query_cache_bytes", "Decoded-block cache occupancy in bytes.",
+		func() float64 { return float64(ts.get().Cache.Bytes) })
+	reg.GaugeFunc("nyquistd_query_cache_entries", "Decoded-block cache entries currently held.",
+		func() float64 { return float64(ts.get().Cache.Entries) })
+	reg.GaugeFunc("nyquistd_query_cache_max_bytes", "Decoded-block cache byte budget (0 = cache disabled).",
+		func() float64 { return float64(ts.get().Cache.MaxBytes) })
 
 	reg.GaugeFunc("nyquistd_estimator_series", "Series with a live estimator window.",
 		func() float64 { return float64(est.Len()) })

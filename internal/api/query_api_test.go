@@ -1,0 +1,408 @@
+package api
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dcsim"
+	"repro/internal/monitor"
+)
+
+// rampLines builds n ingest lines for a linear ramp: value i at
+// apiStart + i·step.
+func rampLines(id string, n int, step time.Duration) []string {
+	lines := make([]string, n)
+	for i := 0; i < n; i++ {
+		when := apiStart.Add(time.Duration(i) * step)
+		lines[i] = fmt.Sprintf(`{"series":%q,"ts":%q,"value":%d}`, id, when.Format(time.RFC3339Nano), i)
+	}
+	return lines
+}
+
+// TestQueryParamValidation pins the 400 surface: inverted ranges,
+// unknown reconstruction policies, non-positive steps and contradictory
+// series selectors must all be rejected loudly, not absorbed.
+func TestQueryParamValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	postLines(t, ts.URL, rampLines("v/ramp", 16, time.Second))
+
+	cases := []struct {
+		name, query, wantErr string
+	}{
+		{"inverted-range", "series=v/ramp&from=2026-07-01T01:00:00Z&to=2026-07-01T00:00:00Z", "bad range: from after to"},
+		{"unknown-reconstruct", "series=v/ramp&reconstruct=spline", "bad reconstruct"},
+		{"zero-step", "series=v/ramp&reconstruct=linear&step=0", "bad step"},
+		{"negative-step", "series=v/ramp&reconstruct=linear&step=-2", "bad step"},
+		{"nan-step", "series=v/ramp&reconstruct=linear&step=NaN", "bad step"},
+		{"garbage-step", "series=v/ramp&step=fast", "bad step"},
+		{"series-and-match", "series=v/ramp&match=v/", "mutually exclusive"},
+		{"neither", "", "missing required parameter"},
+		{"bad-max-points", "series=v/ramp&max_points=-3", "bad max_points"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var body errorBody
+			code := getJSON(t, ts.URL+"/api/v1/query?"+c.query, &body)
+			if code != http.StatusBadRequest {
+				t.Fatalf("HTTP %d, want 400 (%+v)", code, body)
+			}
+			if !strings.Contains(body.Error, c.wantErr) {
+				t.Fatalf("error %q does not mention %q", body.Error, c.wantErr)
+			}
+		})
+	}
+
+	// An equal, non-inverted range stays legal (empty 200).
+	var qr QueryResponse
+	if code := getJSON(t, ts.URL+"/api/v1/query?series=v/ramp&from=2026-07-01T00:00:05Z&to=2026-07-01T00:00:05Z", &qr); code != http.StatusOK {
+		t.Fatalf("empty equal-bounds range: HTTP %d, want 200", code)
+	}
+	if len(qr.Points) != 0 {
+		t.Fatalf("empty [t, t) range returned %d points", len(qr.Points))
+	}
+}
+
+// TestQueryClampedFlag pins the max_points honesty contract: a request
+// above the server cap is served at the cap and says so; a request under
+// it is not flagged.
+func TestQueryClampedFlag(t *testing.T) {
+	srv := NewServer(Config{
+		Ingest:         monitor.IngestConfig{WindowSamples: 256, EmitEvery: 8},
+		MaxQueryPoints: 50,
+	})
+	hts := newHTTPServer(t, srv)
+	postLines(t, hts.URL, rampLines("c/ramp", 200, time.Second))
+
+	var qr QueryResponse
+	if code := getJSON(t, hts.URL+"/api/v1/query?series=c/ramp&max_points=1000", &qr); code != http.StatusOK {
+		t.Fatalf("HTTP %d", code)
+	}
+	if !qr.Clamped {
+		t.Fatal("max_points=1000 over a 50-point cap must set clamped")
+	}
+	if len(qr.Points) > 50 || !qr.Thinned {
+		t.Fatalf("clamped query returned %d points (thinned=%v), want ≤50 thinned", len(qr.Points), qr.Thinned)
+	}
+	qr = QueryResponse{}
+	if code := getJSON(t, hts.URL+"/api/v1/query?series=c/ramp&max_points=30", &qr); code != http.StatusOK {
+		t.Fatalf("HTTP %d", code)
+	}
+	if qr.Clamped {
+		t.Fatal("an in-cap max_points must not be flagged clamped")
+	}
+	if len(qr.Points) > 30 {
+		t.Fatalf("budget 30 exceeded: %d points", len(qr.Points))
+	}
+	// The clamp is also counted.
+	if got := metricValue(t, hts.URL, "nyquistd_query_clamped_total"); got != 1 {
+		t.Fatalf("nyquistd_query_clamped_total = %v, want 1", got)
+	}
+}
+
+// newHTTPServer wraps a configured Server in an httptest listener.
+func newHTTPServer(t *testing.T, srv *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// metricValue scrapes /metrics and returns the value of an unlabeled
+// family's sample, or -1 when absent.
+func metricValue(t *testing.T, base, family string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, family+" ") {
+			var v float64
+			if _, err := fmt.Sscanf(line[len(family)+1:], "%g", &v); err == nil {
+				return v
+			}
+		}
+	}
+	return -1
+}
+
+// TestQueryMatchEndpoint pins the multi-series fan-in surface: sorted
+// results, shared budget, the zero-match 200, and series-cap truncation.
+func TestQueryMatchEndpoint(t *testing.T) {
+	srv := NewServer(Config{
+		Ingest:         monitor.IngestConfig{WindowSamples: 256, EmitEvery: 8},
+		MaxQuerySeries: 2,
+	})
+	hts := newHTTPServer(t, srv)
+	for _, id := range []string{"fleet/dev2", "fleet/dev1", "fleet/dev3", "other/dev"} {
+		postLines(t, hts.URL, rampLines(id, 60, time.Second))
+	}
+
+	t.Run("zero-matches-is-200", func(t *testing.T) {
+		var mr MatchResponse
+		if code := getJSON(t, hts.URL+"/api/v1/query?match=nosuch/", &mr); code != http.StatusOK {
+			t.Fatalf("zero-match pattern: HTTP %d, want 200", code)
+		}
+		if mr.Matches != 0 || len(mr.Results) != 0 {
+			t.Fatalf("zero-match response %+v, want empty", mr)
+		}
+	})
+	t.Run("glob-fan-in", func(t *testing.T) {
+		var mr MatchResponse
+		if code := getJSON(t, hts.URL+"/api/v1/query?"+url.Values{"match": {"fleet/dev?"}}.Encode(), &mr); code != http.StatusOK {
+			t.Fatalf("HTTP %d", code)
+		}
+		if mr.Matches != 3 {
+			t.Fatalf("matched %d series, want 3", mr.Matches)
+		}
+		if !mr.Truncated || len(mr.Results) != 2 {
+			t.Fatalf("series cap 2: truncated=%v results=%d, want true/2", mr.Truncated, len(mr.Results))
+		}
+		// Deterministic, sorted: the two smallest ids.
+		if mr.Results[0].Series != "fleet/dev1" || mr.Results[1].Series != "fleet/dev2" {
+			t.Fatalf("kept %q, %q — want the two smallest ids, sorted", mr.Results[0].Series, mr.Results[1].Series)
+		}
+		for _, r := range mr.Results {
+			if len(r.Points) != 60 {
+				t.Fatalf("series %q returned %d points, want 60", r.Series, len(r.Points))
+			}
+		}
+	})
+	t.Run("budget-split", func(t *testing.T) {
+		var mr MatchResponse
+		if code := getJSON(t, hts.URL+"/api/v1/query?match=fleet/&max_points=20", &mr); code != http.StatusOK {
+			t.Fatalf("HTTP %d", code)
+		}
+		for _, r := range mr.Results {
+			if len(r.Points) > 10 {
+				t.Fatalf("series %q got %d points of a 20-point budget over 2 answered series", r.Series, len(r.Points))
+			}
+		}
+	})
+	t.Run("reconstructed-fan-in", func(t *testing.T) {
+		var mr MatchResponse
+		u := hts.URL + "/api/v1/query?match=fleet/&reconstruct=linear&step=1"
+		if code := getJSON(t, u, &mr); code != http.StatusOK {
+			t.Fatalf("HTTP %d", code)
+		}
+		for _, r := range mr.Results {
+			if r.Reconstruct != "linear" || r.StepSeconds != 1 {
+				t.Fatalf("series %q reconstruct=%q step=%v, want linear/1", r.Series, r.Reconstruct, r.StepSeconds)
+			}
+			if len(r.Points) != 60 {
+				t.Fatalf("series %q reconstructed to %d points, want 60 (1 Hz over 59 s)", r.Series, len(r.Points))
+			}
+		}
+	})
+}
+
+// TestQueryReconstructGrid pins the single-series reconstruction
+// contract: the response grid is uniform at the requested step, values
+// follow the policy, and the annotations echo what was done.
+func TestQueryReconstructGrid(t *testing.T) {
+	_, ts := newTestServer(t)
+	const id = "r/ramp"
+	// A ramp at 10 s spacing: value i at t = 10i s, so the signal in
+	// continuous time is v(t) = t/10.
+	postLines(t, ts.URL, rampLines(id, 20, 10*time.Second))
+
+	t.Run("linear", func(t *testing.T) {
+		var qr QueryResponse
+		if code := getJSON(t, ts.URL+"/api/v1/query?series="+id+"&reconstruct=linear&step=5", &qr); code != http.StatusOK {
+			t.Fatalf("HTTP %d", code)
+		}
+		if qr.Reconstruct != "linear" || qr.StepSeconds != 5 {
+			t.Fatalf("annotations reconstruct=%q step=%v, want linear/5", qr.Reconstruct, qr.StepSeconds)
+		}
+		// 0..190 s at 5 s pitch = 39 slots.
+		if len(qr.Points) != 39 {
+			t.Fatalf("grid has %d slots, want 39", len(qr.Points))
+		}
+		for i, p := range qr.Points {
+			when, err := time.Parse(time.RFC3339Nano, p.TS)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantT := apiStart.Add(time.Duration(i) * 5 * time.Second)
+			if !when.Equal(wantT) {
+				t.Fatalf("slot %d at %v, want %v — grid must be uniform from the first stored point", i, when, wantT)
+			}
+			want := float64(i) * 5 / 10
+			if math.Abs(p.Value-want) > 1e-9 {
+				t.Fatalf("slot %d = %v, want %v (linear ramp)", i, p.Value, want)
+			}
+		}
+	})
+	t.Run("previous", func(t *testing.T) {
+		var qr QueryResponse
+		if code := getJSON(t, ts.URL+"/api/v1/query?series="+id+"&reconstruct=previous&step=5", &qr); code != http.StatusOK {
+			t.Fatalf("HTTP %d", code)
+		}
+		for i, p := range qr.Points {
+			// Sample-and-hold: slot at 5i s holds the ramp value from the
+			// last 10 s boundary.
+			want := math.Floor(float64(i)*5/10 + 1e-9)
+			if p.Value != want {
+				t.Fatalf("slot %d = %v, want %v (sample-and-hold)", i, p.Value, want)
+			}
+		}
+	})
+	t.Run("step-implies-auto", func(t *testing.T) {
+		var qr QueryResponse
+		if code := getJSON(t, ts.URL+"/api/v1/query?series="+id+"&step=10", &qr); code != http.StatusOK {
+			t.Fatalf("HTTP %d", code)
+		}
+		if qr.Reconstruct == "" {
+			t.Fatal("step without reconstruct must imply auto and report the resolved policy")
+		}
+		if len(qr.Points) != 20 {
+			t.Fatalf("on-grid auto reconstruction has %d points, want 20", len(qr.Points))
+		}
+	})
+	t.Run("grid-over-budget-clamps", func(t *testing.T) {
+		var qr QueryResponse
+		if code := getJSON(t, ts.URL+"/api/v1/query?series="+id+"&reconstruct=linear&step=0.001&max_points=100", &qr); code != http.StatusOK {
+			t.Fatalf("HTTP %d", code)
+		}
+		if !qr.Clamped {
+			t.Fatal("a 190k-slot grid against a 100-point budget must clamp")
+		}
+		if len(qr.Points) != 100 {
+			t.Fatalf("clamped grid has %d points, want exactly the 100 budget", len(qr.Points))
+		}
+	})
+	t.Run("empty-window-reconstructs-empty", func(t *testing.T) {
+		var qr QueryResponse
+		u := ts.URL + "/api/v1/query?series=" + id + "&reconstruct=linear&step=5&from=2027-01-01T00:00:00Z&to=2027-01-02T00:00:00Z"
+		if code := getJSON(t, u, &qr); code != http.StatusOK {
+			t.Fatalf("HTTP %d, want 200 for an empty in-range window", code)
+		}
+		if len(qr.Points) != 0 {
+			t.Fatalf("empty window reconstructed %d points", len(qr.Points))
+		}
+	})
+}
+
+// TestReconstructionBeatsStairStep is the acceptance golden test: over a
+// seeded dcsim diurnal device, the server-side linear reconstruction at
+// a grid 4x finer than the stored samples must track the clean signal
+// better than the stair-step (previous-value) rendering a dashboard
+// would otherwise draw, and land within the regime's quality bar
+// (RMSE ≤ 35% of swing).
+func TestReconstructionBeatsStairStep(t *testing.T) {
+	scn, err := dcsim.BuildScenario("diurnal", 42, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := scn.Fleet.Devices[0]
+	// Store at 2x the device's true Nyquist rate (the paper's safe
+	// oversampling), then ask the server for a 4x finer grid than stored.
+	rate := 2 * dev.TrueNyquist
+	ivSec := 1 / rate
+	const n = 256
+
+	_, ts := newTestServer(t)
+	const id = "golden/diurnal"
+	lines := make([]string, n)
+	for i := 0; i < n; i++ {
+		off := float64(i) * ivSec
+		when := apiStart.Add(time.Duration(off * float64(time.Second)))
+		lines[i] = fmt.Sprintf(`{"series":%q,"ts":%q,"value":%.9f}`, id, when.Format(time.RFC3339Nano), dev.CleanAt(off))
+	}
+	postLines(t, ts.URL, lines)
+
+	rmseAt := func(mode string) float64 {
+		var qr QueryResponse
+		u := fmt.Sprintf("%s/api/v1/query?series=%s&reconstruct=%s&step=%.6f", ts.URL, id, mode, ivSec/4)
+		if code := getJSON(t, u, &qr); code != http.StatusOK {
+			t.Fatalf("reconstruct=%s: HTTP %d", mode, code)
+		}
+		if len(qr.Points) <= n {
+			t.Fatalf("reconstruct=%s returned %d points — not finer than the %d stored", mode, len(qr.Points), n)
+		}
+		var sum float64
+		for _, p := range qr.Points {
+			when, err := time.Parse(time.RFC3339Nano, p.TS)
+			if err != nil {
+				t.Fatal(err)
+			}
+			truth := dev.CleanAt(when.Sub(apiStart).Seconds())
+			sum += (p.Value - truth) * (p.Value - truth)
+		}
+		return math.Sqrt(sum / float64(len(qr.Points)))
+	}
+
+	linear := rmseAt("linear")
+	stair := rmseAt("previous")
+
+	// Swing of the clean signal over the ingested span.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 4*n; i++ {
+		v := dev.CleanAt(float64(i) * ivSec / 4)
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	swing := hi - lo
+	if swing <= 0 {
+		t.Fatalf("degenerate device: swing %v", swing)
+	}
+	if linear >= stair {
+		t.Fatalf("linear reconstruction RMSE %.4f not better than stair-step %.4f", linear, stair)
+	}
+	bar := scn.Spec.QualityBar * swing
+	if linear > bar {
+		t.Fatalf("linear reconstruction RMSE %.4f exceeds the regime quality bar %.4f (%.0f%% of %.4f swing)",
+			linear, bar, 100*scn.Spec.QualityBar, swing)
+	}
+	t.Logf("RMSE: linear %.4f, stair %.4f, bar %.4f (swing %.4f)", linear, stair, bar, swing)
+}
+
+// TestStatsAndMetricsCacheBlock pins the cache's observability: the
+// default serving store caches decoded blocks, /api/v1/stats reports the
+// block, and the nyquistd_query_cache_* families move.
+func TestStatsAndMetricsCacheBlock(t *testing.T) {
+	_, ts := newTestServer(t)
+	const id = "obs/cached"
+	// 300 one-second samples: with 128-point blocks, two sealed blocks
+	// plus an active tail.
+	postLines(t, ts.URL, rampLines(id, 300, time.Second))
+	for i := 0; i < 3; i++ {
+		var qr QueryResponse
+		if code := getJSON(t, ts.URL+"/api/v1/query?series="+id, &qr); code != http.StatusOK {
+			t.Fatalf("HTTP %d", code)
+		}
+		if len(qr.Points) != 300 {
+			t.Fatalf("query returned %d points, want 300", len(qr.Points))
+		}
+	}
+	var st StatsResponse
+	if code := getJSON(t, ts.URL+"/api/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats: HTTP %d", code)
+	}
+	if st.Cache == nil {
+		t.Fatal("stats omit the cache block on the default (cached) store")
+	}
+	if st.Cache.MaxBytes != 32<<20 {
+		t.Fatalf("cache max_bytes %d, want the 32 MiB default", st.Cache.MaxBytes)
+	}
+	if st.Cache.Misses == 0 || st.Cache.Hits == 0 || st.Cache.Entries == 0 {
+		t.Fatalf("repeat queries over sealed blocks left the cache idle: %+v", st.Cache)
+	}
+	if got := metricValue(t, ts.URL, "nyquistd_query_cache_hits_total"); got <= 0 {
+		t.Fatalf("nyquistd_query_cache_hits_total = %v, want > 0", got)
+	}
+	if got := metricValue(t, ts.URL, "nyquistd_query_cache_max_bytes"); got != float64(32<<20) {
+		t.Fatalf("nyquistd_query_cache_max_bytes = %v, want %d", got, 32<<20)
+	}
+}

@@ -1,0 +1,160 @@
+// Server-side reconstruction: the dashboard half of the Nyquist
+// bargain. The store keeps only what the sampling theorem says it must
+// (raw near the live edge, Nyquist-sized tier buckets behind it); a
+// dashboard wants a dense uniform grid at whatever pixel pitch it is
+// rendering. ?reconstruct=&step= runs the internal/series interpolation
+// machinery over the tier-stitched result so the client gets the
+// band-limited signal on its requested grid instead of a stair-step it
+// would have to (wrongly) interpolate itself.
+
+package api
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/series"
+	"repro/internal/tsdb"
+)
+
+// reconstructSpec is a parsed ?reconstruct=&step= pair.
+type reconstructSpec struct {
+	// want reports reconstruction was requested at all.
+	want bool
+	// auto defers the interpolation choice to the series' stored Nyquist
+	// estimate (linear for band-limited signals, nearest otherwise).
+	auto bool
+	// mode is the interpolation policy (meaningful when !auto).
+	mode series.Interpolation
+	// step is the requested grid interval; 0 = derive from the series'
+	// Nyquist rate (or its median interval as the fallback).
+	step time.Duration
+}
+
+// parseReconstruct validates ?reconstruct= (linear|nearest|previous|auto)
+// and ?step= (positive fractional seconds). step without reconstruct
+// implies auto; reconstruct without step derives the grid from the
+// series itself.
+func parseReconstruct(q url.Values) (reconstructSpec, error) {
+	var spec reconstructSpec
+	switch mode := q.Get("reconstruct"); mode {
+	case "":
+	case "auto":
+		spec.want, spec.auto = true, true
+	case "linear":
+		spec.want, spec.mode = true, series.Linear
+	case "nearest":
+		spec.want, spec.mode = true, series.NearestNeighbor
+	case "previous":
+		spec.want, spec.mode = true, series.PreviousValue
+	default:
+		return spec, fmt.Errorf("bad reconstruct: %q is not one of linear, nearest, previous, auto", mode)
+	}
+	if v := q.Get("step"); v != "" {
+		sec, err := strconv.ParseFloat(v, 64)
+		if err != nil || !(sec > 0) {
+			return spec, fmt.Errorf("bad step: want positive seconds, got %q", v)
+		}
+		spec.step = time.Duration(sec * float64(time.Second))
+		if spec.step <= 0 {
+			return spec, fmt.Errorf("bad step: %q is below 1ns resolution", v)
+		}
+		if !spec.want {
+			// A grid pitch with no policy means "give me the signal on this
+			// grid": auto picks the policy from the stored estimate.
+			spec.want, spec.auto = true, true
+		}
+	}
+	return spec, nil
+}
+
+// reconstruction is the outcome of applying a reconstructSpec.
+type reconstruction struct {
+	// pts is the resampled signal on the uniform grid.
+	pts []series.Point
+	// mode is the resolved interpolation policy name (auto reports what
+	// it chose).
+	mode string
+	// step is the resolved grid interval.
+	step time.Duration
+	// clamped reports the requested grid exceeded the point budget and
+	// the step was coarsened to fit.
+	clamped bool
+}
+
+// reconstruct resamples a tier-stitched query result onto a uniform
+// grid. nyquist is the series' stored rate estimate (0 = none): auto
+// mode interpolates linearly when an estimate exists (the signal is
+// known band-limited, so linear between sufficiently dense samples is
+// faithful) and falls back to nearest-neighbour otherwise; a missing
+// step derives from the estimate at the pipeline's standard 1.2×
+// headroom, or from the stored points' median interval.
+//
+// The grid is anchored at the later of `from` and the first stored
+// point and runs through the last stored point — reconstruction never
+// extrapolates past the observed span. A grid that would exceed budget
+// points is coarsened to exactly budget (clamped reports it). An empty
+// result reconstructs to an empty result.
+func reconstruct(res *tsdb.QueryResult, spec reconstructSpec, nyquist float64, from time.Time, budget int) (reconstruction, error) {
+	out := reconstruction{step: spec.step}
+	mode := spec.mode
+	if spec.auto {
+		if nyquist > 0 {
+			mode = series.Linear
+		} else {
+			mode = series.NearestNeighbor
+		}
+	}
+	out.mode = mode.String()
+	if len(res.Points) == 0 {
+		return out, nil
+	}
+	s := series.New(res.Points)
+	if out.step <= 0 {
+		if nyquist > 0 {
+			out.step = time.Duration(float64(time.Second) / (1.2 * nyquist))
+		} else if iv, err := s.MedianInterval(); err == nil && iv > 0 {
+			out.step = iv
+		} else {
+			// One stored point: any positive step yields the same single-
+			// slot grid.
+			out.step = time.Second
+		}
+		if out.step <= 0 {
+			out.step = time.Nanosecond
+		}
+	}
+	start := res.Points[0].Time
+	if !from.IsZero() && from.After(start) {
+		start = from
+	}
+	end := res.Points[len(res.Points)-1].Time
+	span := end.Sub(start)
+	if span < 0 {
+		span = 0
+	}
+	n := int(span/out.step) + 1
+	if budget > 0 && n > budget {
+		// Coarsen to exactly the budget instead of failing or thinning
+		// after the fact — the budget is a response-size contract.
+		out.clamped = true
+		n = budget
+		if n > 1 {
+			out.step = span / time.Duration(n-1)
+		}
+		if out.step <= 0 {
+			out.step = time.Nanosecond
+		}
+	}
+	u, err := s.ResampleGrid(start, out.step, n, mode)
+	if err != nil {
+		return out, err
+	}
+	out.pts = make([]series.Point, len(u.Values))
+	for i, v := range u.Values {
+		out.pts[i] = series.Point{Time: u.TimeAt(i), Value: v}
+	}
+	return out, nil
+}

@@ -76,6 +76,30 @@ type QueryResponse struct {
 	// Thinned reports the stitched result exceeded the point budget and
 	// was stride-decimated down to it.
 	Thinned bool `json:"thinned"`
+	// Reconstruct and StepSeconds report server-side reconstruction:
+	// when present, Points is the signal resampled onto a uniform grid
+	// with this interpolation policy and pitch (auto reports the policy
+	// it resolved to).
+	Reconstruct string  `json:"reconstruct,omitempty"`
+	StepSeconds float64 `json:"step_seconds,omitempty"`
+	// Clamped reports the response honors a smaller point budget than the
+	// client asked for: max_points exceeded the server cap, or the
+	// requested reconstruction grid was coarsened to fit the budget.
+	Clamped bool `json:"clamped,omitempty"`
+}
+
+// MatchResponse is a multi-series fan-in read: one QueryResponse per
+// matched series, sorted by id, sharing one point budget.
+type MatchResponse struct {
+	// Match echoes the pattern.
+	Match string `json:"match"`
+	// Matches is how many series matched before the series cap; when
+	// Truncated, only the lexicographically smallest ids were answered.
+	Matches   int  `json:"matches"`
+	Truncated bool `json:"truncated,omitempty"`
+	// Clamped mirrors QueryResponse.Clamped at the request level.
+	Clamped bool            `json:"clamped,omitempty"`
+	Results []QueryResponse `json:"results"`
 }
 
 // PointJSON is one sample on the wire.
@@ -245,9 +269,28 @@ type StatsResponse struct {
 	CompressedBytes   int64   `json:"compressed_bytes"`
 	CompressedEntries int64   `json:"compressed_entries"`
 	BytesPerPoint     float64 `json:"bytes_per_point"`
+	// Cache reports the decoded-block LRU; absent when the cache is
+	// disabled (no CacheBytes budget, or an uncompressed store).
+	Cache *CacheStatsJSON `json:"cache,omitempty"`
 	// WAL reports the durability subsystem; absent when the server runs
 	// memory-only.
 	WAL *WALStatsJSON `json:"wal,omitempty"`
+}
+
+// CacheStatsJSON is the decoded-block LRU's operator view.
+type CacheStatsJSON struct {
+	// MaxBytes is the configured budget across shards; Bytes and Entries
+	// the current occupancy.
+	MaxBytes int64 `json:"max_bytes"`
+	Bytes    int64 `json:"bytes"`
+	Entries  int   `json:"entries"`
+	// Hits and Misses count sealed-block decode lookups; Evictions counts
+	// LRU evictions at the byte budget, Invalidations entries dropped
+	// because their block left retention.
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
 }
 
 // WALStatsJSON is the durability subsystem's operator view.
@@ -315,6 +358,17 @@ func statsResponseFrom(st tsdb.Stats, est *monitor.IngestEstimator, walStats *wa
 	}
 	if st.CompressedEntries > 0 {
 		out.BytesPerPoint = float64(st.CompressedBytes) / float64(st.CompressedEntries)
+	}
+	if st.Cache.MaxBytes > 0 {
+		out.Cache = &CacheStatsJSON{
+			MaxBytes:      st.Cache.MaxBytes,
+			Bytes:         st.Cache.Bytes,
+			Entries:       st.Cache.Entries,
+			Hits:          st.Cache.Hits,
+			Misses:        st.Cache.Misses,
+			Evictions:     st.Cache.Evictions,
+			Invalidations: st.Cache.Invalidations,
+		}
 	}
 	if walStats != nil {
 		w := &WALStatsJSON{

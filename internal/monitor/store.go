@@ -109,6 +109,15 @@ func (s *Store) QueryRange(id string, from, to time.Time, maxPoints int) (*tsdb.
 	return s.db.Query(id, from, to, maxPoints)
 }
 
+// QueryMatch answers one range query for every series whose id matches
+// pattern (prefix, or glob with '*'/'?'), fanning the per-shard reads
+// out in parallel. maxPoints is a shared budget split across the matched
+// series; maxSeries caps how many series are answered (smallest ids
+// win). Zero matches is an empty result, not an error.
+func (s *Store) QueryMatch(pattern string, from, to time.Time, maxPoints, maxSeries int) *tsdb.MatchResult {
+	return s.db.QueryMatch(pattern, from, to, maxPoints, maxSeries)
+}
+
 // Full returns the complete stored series for id across all tiers.
 func (s *Store) Full(id string) (*series.Series, error) {
 	res, err := s.db.Full(id)

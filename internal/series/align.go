@@ -64,7 +64,12 @@ func AlignToCommonGrid(seriesList []*Series, ip Interpolation) ([]*Uniform, erro
 	}
 	out := make([]*Uniform, len(seriesList))
 	for i, s := range seriesList {
-		u, err := s.Window(start, end.Add(time.Nanosecond)).Regularize(interval, ip)
+		// The alignment window is closed on both ends: `end` is the
+		// earliest member's last sample, and that sample must survive the
+		// windowing or the shortest member would lose its endpoint.
+		// WindowInclusive makes that contract explicit (this used to be
+		// faked with Window(start, end+1ns)).
+		u, err := s.WindowInclusive(start, end).Regularize(interval, ip)
 		if err != nil {
 			return nil, err
 		}

@@ -69,6 +69,39 @@ func (s *Series) Regularize(interval time.Duration, ip Interpolation) (*Uniform,
 	return &Uniform{Start: start, Interval: interval, Values: values}, nil
 }
 
+// ResampleGrid resamples the series onto an explicit uniform grid: n
+// slots at start, start+interval, ..., start + (n-1)·interval, each
+// filled according to the interpolation policy. Unlike Regularize, which
+// anchors at the first observation, the caller owns the grid — this is
+// the reconstruction entry point for serving a query's requested step,
+// where the grid must align with the request window rather than with
+// whatever sample happens to be stored first. Grid slots outside the
+// observed span clamp to the edge values (no extrapolation).
+func (s *Series) ResampleGrid(start time.Time, interval time.Duration, n int, ip Interpolation) (*Uniform, error) {
+	if interval <= 0 {
+		return nil, ErrBadInterval
+	}
+	if s.Len() == 0 {
+		return nil, ErrEmpty
+	}
+	if n < 1 {
+		return nil, ErrTooShort
+	}
+	pts := s.Points()
+	values := make([]float64, n)
+	switch ip {
+	case NearestNeighbor:
+		fillNearest(values, pts, start, interval)
+	case Linear:
+		fillLinear(values, pts, start, interval)
+	case PreviousValue:
+		fillPrevious(values, pts, start, interval)
+	default:
+		return nil, ErrBadInterpolation
+	}
+	return &Uniform{Start: start, Interval: interval, Values: values}, nil
+}
+
 // RegularizeAuto regularizes onto the series' own median interval with
 // nearest-neighbour interpolation — the paper's default pre-cleaning.
 func (s *Series) RegularizeAuto() (*Uniform, error) {

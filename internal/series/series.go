@@ -143,6 +143,18 @@ func (s *Series) Window(from, to time.Time) *Series {
 	return New(s.points[lo:hi])
 }
 
+// WindowInclusive returns a new series holding the samples with
+// from <= t <= end: the closed-interval companion to Window, for callers
+// whose window end is a grid point that must itself be retained (a
+// sample sitting exactly on the common end of an alignment span, for
+// example). A sample even one nanosecond past end is excluded.
+func (s *Series) WindowInclusive(from, end time.Time) *Series {
+	s.sort()
+	lo := sort.Search(len(s.points), func(i int) bool { return !s.points[i].Time.Before(from) })
+	hi := sort.Search(len(s.points), func(i int) bool { return s.points[i].Time.After(end) })
+	return New(s.points[lo:hi])
+}
+
 func (s *Series) sort() {
 	if s.sorted && len(s.points) > 0 {
 		return

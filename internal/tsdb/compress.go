@@ -25,6 +25,9 @@ type pointSeg struct {
 	pts []series.Point // fallback; nil when blk is used
 	// firstT/lastT bound the segment (fallback mode; blk carries its own).
 	firstT, lastT time.Time
+	// seq is the segment's process-unique decoded-block cache key,
+	// assigned at seal (and on snapshot restore); 0 = not cacheable.
+	seq uint64
 }
 
 func (s *pointSeg) size() int {
@@ -63,6 +66,43 @@ func (s *pointSeg) each(emit func(series.Point)) {
 	}
 }
 
+// cachedWindow returns the segment's decoded points trimmed to [from, to),
+// served from c (and populating c on a miss). ok is false when the segment
+// cannot use the cache — nil cache, a fallback slice, or no seq — and the
+// caller must fall back to a streaming decode. The returned slice aliases
+// the shared cache entry and must never be mutated.
+func (s *pointSeg) cachedWindow(c *blockCache, from, to time.Time) (_ []series.Point, ok bool) {
+	if c == nil || s.seq == 0 || s.pts != nil {
+		return nil, false
+	}
+	pts, hit := c.get(s.seq)
+	if !hit {
+		pts = make([]series.Point, 0, s.blk.Len())
+		it := s.blk.Iter()
+		for it.Next() {
+			pts = append(pts, it.Point())
+		}
+		c.put(s.seq, pts)
+	}
+	return trimWindow(pts, from, to), true
+}
+
+// trimWindow narrows a time-ordered slice to [from, to) by binary search;
+// zero bounds are unbounded.
+func trimWindow(pts []series.Point, from, to time.Time) []series.Point {
+	lo, hi := 0, len(pts)
+	if !from.IsZero() {
+		lo = sort.Search(len(pts), func(i int) bool { return !pts[i].Time.Before(from) })
+	}
+	if !to.IsZero() {
+		hi = sort.Search(len(pts), func(i int) bool { return !pts[i].Time.Before(to) })
+	}
+	if lo >= hi {
+		return nil
+	}
+	return pts[lo:hi]
+}
+
 // compPoints is the compressed raw store: a FIFO of sealed segments plus
 // an uncompressed active run of at most blockLen points.
 type compPoints struct {
@@ -77,6 +117,10 @@ type compPoints struct {
 	// strict serving stores cannot produce them, and lenient stores have
 	// no hook.
 	sealed []Block
+	// evictedSeqs queues the cache keys of segments evicted from
+	// retention since the last takeEvictedSeqs — the DB drains it (under
+	// the shard lock) to invalidate the decoded-block cache.
+	evictedSeqs []uint64
 }
 
 func newCompPoints(blockLen, capacity int) *compPoints {
@@ -115,6 +159,7 @@ func (c *compPoints) seal() {
 	seg := pointSeg{}
 	if blk, err := EncodeBlock(pts); err == nil {
 		seg.blk = blk
+		seg.seq = nextSegSeq()
 		c.sealed = append(c.sealed, blk)
 	} else {
 		seg.pts = append([]series.Point(nil), pts...)
@@ -138,16 +183,33 @@ func (c *compPoints) takeSealed() []Block {
 }
 
 // evictOldest decodes and removes the oldest sealed segment, returning
-// its points (reusable buffer).
+// its points (reusable buffer). The segment's cache key is queued for
+// invalidation (see takeEvictedSeqs).
 func (c *compPoints) evictOldest() []series.Point {
 	seg := c.segs[0]
 	copy(c.segs, c.segs[1:])
 	c.segs[len(c.segs)-1] = pointSeg{}
 	c.segs = c.segs[:len(c.segs)-1]
+	if seg.seq != 0 {
+		c.evictedSeqs = append(c.evictedSeqs, seg.seq)
+	}
 	c.evbuf = c.evbuf[:0]
 	seg.each(func(p series.Point) { c.evbuf = append(c.evbuf, p) })
 	c.n -= seg.size()
 	return c.evbuf
+}
+
+// takeEvictedSeqs drains the queue of cache keys whose segments left
+// retention. The returned slice is reused by later evictions; the
+// caller (the DB, under the shard lock) must consume it before
+// releasing the lock.
+func (c *compPoints) takeEvictedSeqs() []uint64 {
+	if len(c.evictedSeqs) == 0 {
+		return nil
+	}
+	out := c.evictedSeqs
+	c.evictedSeqs = c.evictedSeqs[:0]
+	return out
 }
 
 // bounds returns the oldest and newest retained timestamps.
@@ -176,14 +238,24 @@ func (c *compPoints) bounds() (oldest, newest time.Time, ok bool) {
 
 // each emits every retained point whose segment can overlap [from, to)
 // (zero bounds are unbounded). Sealed segments fully outside the window
-// are skipped without decoding; the caller still filters per point.
-func (c *compPoints) each(from, to time.Time, emit func(series.Point)) {
+// are skipped without decoding. A non-nil cache serves repeated decodes
+// of hot segments from memory: cache-served segments are handed to bulk
+// as one window-trimmed, already-filtered slice (the query hot path
+// appends it with a single copy instead of a closure call per point);
+// everything else streams through emit, which the caller still filters.
+func (c *compPoints) each(from, to time.Time, cache *blockCache, bulk func([]series.Point), emit func(series.Point)) {
 	for i := range c.segs {
 		s := &c.segs[i]
 		if !to.IsZero() && !s.first().Before(to) {
 			continue
 		}
 		if !from.IsZero() && s.last().Before(from) {
+			continue
+		}
+		if pts, ok := s.cachedWindow(cache, from, to); ok {
+			if len(pts) > 0 {
+				bulk(pts)
+			}
 			continue
 		}
 		s.each(emit)

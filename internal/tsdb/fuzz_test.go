@@ -20,25 +20,37 @@ import (
 //     raw samples are strictly in-window,
 //   - a point budget is never exceeded, and Thinned is set iff it bit.
 //
-// The first input byte selects the storage backend — uncompressed rings
-// or Gorilla-compressed blocks (CompressBlock) — so both engines face
-// the same interleavings under the same contract.
+// The first input byte selects the storage backend — bit 0 picks
+// uncompressed rings vs Gorilla-compressed blocks (CompressBlock), bit 1
+// enables the decoded-block cache — so all engine configurations face
+// the same interleavings under the same contract (the cache must be
+// invisible to results, including across retention evictions).
 func FuzzQueryRange(f *testing.F) {
 	f.Add([]byte{0x01, 0x10, 0x42, 0x02, 0x80, 0x03, 0x00, 0xff})
 	f.Add([]byte{0x00, 0x00, 0x00, 0x01, 0x01, 0x02, 0x02, 0x03, 0x03, 0x07})
 	f.Add([]byte("append-cascade-query-interleaving"))
 	f.Add([]byte("Compressed-cascade-query-interleaving"))
+	// Compressed + cached (first byte 0x03), with queries (op 3) hitting
+	// the same windows twice so the second read serves from the cache.
+	f.Add([]byte{0x03, 0x00, 0x10, 0x01, 0x07, 0x00, 0x20, 0x03, 0x06, 0x03, 0x06, 0x03, 0x0c})
+	// Cached with reconstruct-style budgets and retention churn (op 0
+	// floods force evictions → invalidations).
+	f.Add([]byte{0x03, 0x00, 0xff, 0x00, 0xff, 0x00, 0xff, 0x00, 0xff, 0x03, 0x03, 0x00, 0xff, 0x03, 0x09})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		compress := 0
+		compress, cacheBytes := 0, int64(0)
 		if len(data) > 0 {
 			if data[0]%2 == 1 {
 				compress = 4
 			}
+			if (data[0]>>1)%2 == 1 {
+				cacheBytes = 1 << 20
+			}
 			data = data[1:]
 		}
 		db := New(Config{
-			Shards: 2,
+			Shards:     2,
+			CacheBytes: cacheBytes,
 			// Tiny capacities so a short op stream reaches the cascade
 			// and the last tier's forgetting path.
 			Retention: RetentionConfig{
@@ -90,6 +102,15 @@ func FuzzQueryRange(f *testing.F) {
 					t.Fatalf("query [%v, %v): %v", from, to, err)
 				}
 				checkQueryResult(t, res, from, to, budget)
+				// The pattern fan-in must answer the same window under the
+				// same contract (one series stored → at most one result).
+				mres := db.QueryMatch("fuzz/*", from, to, budget, 4)
+				if mres.Matches > 1 || len(mres.Results) != mres.Matches {
+					t.Fatalf("match: %d matches, %d results for a single stored series", mres.Matches, len(mres.Results))
+				}
+				for _, r := range mres.Results {
+					checkQueryResult(t, r, from, to, budget)
+				}
 			}
 		}
 		// Full must obey the same ordering contract.

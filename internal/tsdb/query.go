@@ -51,8 +51,9 @@ type AggPoint struct {
 }
 
 // query stitches the retained tiers over [from, to). Caller holds the
-// shard lock.
-func (m *memSeries) query(id string, from, to time.Time, maxPoints int) *QueryResult {
+// shard lock. A non-nil cache serves sealed-block decodes from the
+// shard's decoded-block LRU.
+func (m *memSeries) query(id string, from, to time.Time, maxPoints int, cache *blockCache) *QueryResult {
 	res := &QueryResult{ID: id}
 	// Coarsest tier first: the cascade makes deeper tiers strictly older,
 	// so this emits (approximately) oldest → newest. A bucket is returned
@@ -104,7 +105,12 @@ func (m *memSeries) query(id string, from, to time.Time, maxPoints int) *QueryRe
 				keep(m.raw.at(i))
 			}
 		} else {
-			m.craw.each(from, to, keep)
+			// Cache-resident blocks arrive window-trimmed as whole slices;
+			// one bulk append per block keeps the cached read path free of
+			// the per-point closure cost the streaming decode pays.
+			m.craw.each(from, to, cache, func(pts []series.Point) {
+				res.Points = append(res.Points, pts...)
+			}, keep)
 		}
 		if n := len(res.Points) - before; n > 0 {
 			res.Tiers = append(res.Tiers, TierSlice{Tier: 0, Points: n})

@@ -196,7 +196,7 @@ func (db *DB) RestoreSeries(s SeriesSnapshot) error {
 				if seg.Block.Len() == 0 {
 					continue
 				}
-				m.craw.segs = append(m.craw.segs, pointSeg{blk: seg.Block})
+				m.craw.segs = append(m.craw.segs, pointSeg{blk: seg.Block, seq: nextSegSeq()})
 				m.craw.n += seg.Block.Len()
 			}
 		}

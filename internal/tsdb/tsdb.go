@@ -69,6 +69,12 @@ type Config struct {
 	// replayable" — whereas the default lenient mode keeps the library
 	// behavior of absorbing whatever a poller hands it.
 	StrictAppend bool
+	// CacheBytes, when positive, bounds a decoded-block LRU split evenly
+	// across the shards: queries over sealed compressed history serve
+	// repeat decodes from memory instead of re-running the codec. Only
+	// meaningful with Retention.CompressBlock > 0 (uncompressed stores
+	// never decode); 0 disables the cache.
+	CacheBytes int64
 }
 
 // RetentionConfig is the per-series multi-resolution retention policy.
@@ -132,6 +138,9 @@ func (c Config) withDefaults() Config {
 	if c.Retention.CompressBlock > 0 && c.Retention.CompressBlock < 4 {
 		c.Retention.CompressBlock = 4
 	}
+	if c.CacheBytes < 0 {
+		c.CacheBytes = 0
+	}
 	return c
 }
 
@@ -181,6 +190,9 @@ func (db *DB) Strict() bool { return db.cfg.StrictAppend }
 type shard struct {
 	mu     sync.RWMutex
 	series map[string]*memSeries
+	// cache is the shard's decoded-block LRU (nil = disabled). It has its
+	// own lock; the only ordering is shard lock → cache lock.
+	cache *blockCache
 }
 
 // New returns an empty DB. Zero-value config fields select defaults (16
@@ -188,8 +200,15 @@ type shard struct {
 func New(cfg Config) *DB {
 	c := cfg.withDefaults()
 	db := &DB{cfg: c, shards: make([]shard, c.Shards)}
+	per := int64(0)
+	if c.CacheBytes > 0 && c.Retention.CompressBlock > 0 {
+		per = c.CacheBytes / int64(c.Shards)
+	}
 	for i := range db.shards {
 		db.shards[i].series = make(map[string]*memSeries)
+		if per > 0 {
+			db.shards[i].cache = newBlockCache(per)
+		}
 	}
 	return db
 }
@@ -235,7 +254,7 @@ func (db *DB) Append(id string, p series.Point) error {
 	sh.mu.Lock()
 	m := sh.getOrCreate(id, &db.cfg.Retention)
 	err := m.append(p, &db.cfg.Retention, db.cfg.StrictAppend)
-	db.drainSealed(id, m)
+	db.drainSealed(sh, id, m)
 	sh.mu.Unlock()
 	return err
 }
@@ -249,7 +268,7 @@ func (db *DB) AppendUniform(id string, u *series.Uniform) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	m := sh.getOrCreate(id, &db.cfg.Retention)
-	defer db.drainSealed(id, m)
+	defer db.drainSealed(sh, id, m)
 	for i, v := range u.Values {
 		if err := m.append(series.Point{Time: u.TimeAt(i), Value: v}, &db.cfg.Retention, db.cfg.StrictAppend); err != nil {
 			return err
@@ -258,12 +277,19 @@ func (db *DB) AppendUniform(id string, u *series.Uniform) error {
 	return nil
 }
 
-// drainSealed hands any freshly sealed raw blocks to the seal hook.
-// Caller holds the shard lock, which is what serializes hook calls per
-// series.
-func (db *DB) drainSealed(id string, m *memSeries) {
+// drainSealed hands any freshly sealed raw blocks to the seal hook and
+// invalidates decoded-block cache entries for segments that left
+// retention. Caller holds the shard lock, which is what serializes hook
+// calls per series and orders invalidations after the eviction they
+// reflect.
+func (db *DB) drainSealed(sh *shard, id string, m *memSeries) {
 	if m.craw == nil {
 		return
+	}
+	if sh.cache != nil {
+		for _, seq := range m.craw.takeEvictedSeqs() {
+			sh.cache.invalidate(seq)
+		}
 	}
 	sealed := m.craw.takeSealed()
 	if len(sealed) == 0 {
@@ -353,7 +379,7 @@ func (db *DB) Query(id string, from, to time.Time, maxPoints int) (*QueryResult,
 	if m == nil {
 		return nil, ErrNoSeries
 	}
-	return m.query(id, from, to, maxPoints), nil
+	return m.query(id, from, to, maxPoints, sh.cache), nil
 }
 
 // Full returns everything retained for id across all tiers.
@@ -414,6 +440,16 @@ func (db *DB) Stats() Stats {
 			st.CompressedEntries += n
 		}
 		sh.mu.RUnlock()
+		if c := sh.cache; c != nil {
+			bytes, entries := c.snapshot()
+			st.Cache.MaxBytes += c.maxBytes
+			st.Cache.Bytes += bytes
+			st.Cache.Entries += entries
+			st.Cache.Hits += c.hits.Load()
+			st.Cache.Misses += c.misses.Load()
+			st.Cache.Evictions += c.evictions.Load()
+			st.Cache.Invalidations += c.invalidations.Load()
+		}
 	}
 	return st
 }
@@ -474,6 +510,9 @@ type Stats struct {
 	// SealedBlocks counts raw blocks sealed over the DB's lifetime
 	// (append-filled plus force-sealed; 0 on uncompressed stores).
 	SealedBlocks int64
+	// Cache aggregates the per-shard decoded-block LRUs (zero-valued when
+	// the cache is disabled — Cache.MaxBytes == 0 distinguishes the two).
+	Cache CacheStats
 	// SeriesPerShard is the series count per shard (load-balance view).
 	SeriesPerShard []int
 }

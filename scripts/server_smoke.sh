@@ -85,6 +85,28 @@ curl -sf "http://127.0.0.1:$port/readyz" >/dev/null
 curl -sf "http://127.0.0.1:$port/api/v1/stats" | tee "$workdir/stats.json"
 echo
 
+# Dashboard read path: one ?match= pull fans across the series family and
+# reconstructs onto the stored 675 s grid. On-grid linear reconstruction
+# must reproduce the stored samples exactly — same timestamps, same
+# values as the raw single-series query.
+curl -sf "http://127.0.0.1:$port/api/v1/query?series=sim%2Fdiurnal%2Fgauge&max_points=100000" >"$workdir/raw.json"
+curl -sf "http://127.0.0.1:$port/api/v1/query?match=sim%2F*&reconstruct=linear&step=675&max_points=100000" >"$workdir/recon.json"
+python3 - "$workdir/raw.json" "$workdir/recon.json" <<'PY'
+import json, sys
+raw = json.load(open(sys.argv[1]))
+mr = json.load(open(sys.argv[2]))
+assert mr["matches"] == 1, f"match pull answered {mr['matches']} series, want 1"
+r = mr["results"][0]
+assert r.get("reconstruct") == "linear", f"reconstruct={r.get('reconstruct')!r}"
+assert r.get("step_seconds") == 675, f"step_seconds={r.get('step_seconds')}"
+pts, rpts = raw["points"], r["points"]
+assert len(rpts) == len(pts) > 0, f"{len(rpts)} reconstructed vs {len(pts)} raw points"
+for a, b in zip(pts, rpts):
+    assert a["ts"] == b["ts"], f"grid drifted: {a['ts']} vs {b['ts']}"
+    assert abs(a["value"] - b["value"]) < 1e-9, f"on-grid value changed at {a['ts']}: {a['value']} vs {b['value']}"
+print(f"server_smoke: reconstructed ?match= pull OK ({len(rpts)} points on the 675 s grid)")
+PY
+
 # Live /metrics scrape: the exposition must parse (every non-comment
 # line is NAME[{LABELS}] VALUE) and the core families must be present
 # with the traffic just pushed accounted for.
@@ -101,6 +123,8 @@ for fam in nyquistd_http_requests_total nyquistd_http_request_seconds \
     nyquistd_ingest_points_total nyquistd_ingest_parse_total \
     nyquistd_query_seconds nyquistd_tsdb_appends_total \
     nyquistd_tsdb_series nyquistd_wal_enabled nyquistd_wal_fsync_seconds \
+    nyquistd_query_cache_hits_total nyquistd_query_cache_misses_total \
+    nyquistd_query_cache_bytes nyquistd_query_cache_max_bytes \
     nyquistd_estimator_series nyquistd_estimator_probes_total nyquistd_up; do
     grep -q "^# TYPE $fam " "$workdir/metrics.txt" || {
         echo "server_smoke: /metrics missing family $fam" >&2; exit 1; }
