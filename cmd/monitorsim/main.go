@@ -10,6 +10,7 @@
 //	monitorsim [-metric temperature] [-interval 30s] [-hours 24] [-seed 1] [-burst]
 //	monitorsim -scenario diurnal [-devices 1000] [-rounds 0] [-budget 1] [-seed 1]
 //	monitorsim -push http://127.0.0.1:9464 [-push-samples 1024] [-push-batch 256]
+//	monitorsim -push-bulk 127.0.0.1:9465 [-push-samples 65536] [-push-batch 4096] [-push-min-rate 25000]
 //	monitorsim -list-scenarios
 //
 // -push switches to load-generator mode against a running nyquistd: a
@@ -27,11 +28,15 @@
 package main
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/url"
 	"os"
@@ -64,6 +69,9 @@ func main() {
 		pushScenario = flag.String("push-scenario", "", "with -push: replay a catalog regime's wire traffic against the server (see -list-scenarios)")
 		pushBegin    = flag.Int("push-begin", 0, "first wire round to send in -push-scenario mode (earlier rounds are skipped, not sent)")
 		pushEnd      = flag.Int("push-end", 0, "one past the last wire round to send (0 = the regime's round bound)")
+
+		pushBulk    = flag.String("push-bulk", "", "load-generator mode: host:port of a nyquistd bulk lane (-bulk-addr) to drive over plain TCP")
+		pushMinRate = flag.Float64("push-min-rate", 0, "with -push-bulk: fail unless the achieved ingest rate reaches this many points/s (0 = no floor)")
 	)
 	flag.Parse()
 
@@ -91,6 +99,10 @@ func main() {
 			return
 		}
 		runPush(*push, *pushSeries, *pushSamples, *pushBatch)
+		return
+	}
+	if *pushBulk != "" {
+		runPushBulk(*pushBulk, *pushSamples, *pushBatch, *pushMinRate)
 		return
 	}
 	if *scenario != "" {
@@ -314,6 +326,96 @@ func runPush(baseURL, id string, samples, batch int) {
 	fmt.Printf("push: query returned %d points (thinned=%v); store holds %d appends at %.2f bytes/point\n",
 		len(q.Points), q.Thinned, st.Appends, st.BytesPerPoint)
 	fmt.Println("push: PASS — estimate converged near ground truth across the HTTP boundary")
+}
+
+// runPushBulk drives a nyquistd bulk lane (see docs/API.md "Bulk lane"):
+// length-prefixed JSON-lines frames over one plain-TCP connection,
+// spread across 16 series, with per-frame response accounting held to
+// the ingest contract (every sent line accepted). Timestamps ascend from
+// a recent wall-clock base so repeated runs against the same strict-
+// append server keep landing. With -push-min-rate the achieved rate is a
+// hard floor — the CI smoke job's regression tripwire for the bulk path.
+func runPushBulk(addr string, samples, batch int, minRate float64) {
+	const nSeries = 16
+	if samples < 1 {
+		samples = 1
+	}
+	if batch < 1 {
+		batch = 4096
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		fatal(fmt.Errorf("push-bulk: dial %s: %w", addr, err))
+	}
+	defer conn.Close()
+	start := time.Now().Add(-time.Duration(samples/nSeries+1) * time.Second).Truncate(time.Second)
+	var (
+		buf                bytes.Buffer
+		hdr                [4]byte
+		accepted, rejected int
+		frames             int
+	)
+	sendFrame := func() {
+		if buf.Len() == 0 {
+			return
+		}
+		binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+		if _, err := conn.Write(hdr[:]); err != nil {
+			fatal(fmt.Errorf("push-bulk: write frame header: %w", err))
+		}
+		if _, err := conn.Write(buf.Bytes()); err != nil {
+			fatal(fmt.Errorf("push-bulk: write frame: %w", err))
+		}
+		buf.Reset()
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			fatal(fmt.Errorf("push-bulk: read response header: %w", err))
+		}
+		body := make([]byte, binary.BigEndian.Uint32(hdr[:]))
+		if _, err := io.ReadFull(conn, body); err != nil {
+			fatal(fmt.Errorf("push-bulk: read response: %w", err))
+		}
+		var out struct {
+			Accepted int    `json:"accepted"`
+			Rejected int    `json:"rejected"`
+			Error    string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &out); err != nil {
+			fatal(fmt.Errorf("push-bulk: decode response: %w", err))
+		}
+		if out.Error != "" {
+			fatal(fmt.Errorf("push-bulk: server error: %s", out.Error))
+		}
+		accepted += out.Accepted
+		rejected += out.Rejected
+		frames++
+	}
+	fmt.Printf("push-bulk: driving %s with %d samples across %d series, %d lines per frame\n",
+		addr, samples, nSeries, batch)
+	t0 := time.Now()
+	for i := 0; i < samples; i++ {
+		ts := start.Add(time.Duration(i/nSeries) * time.Second)
+		v := 40 + 8*math.Sin(2*math.Pi*float64(i)/4096)
+		fmt.Fprintf(&buf, "{\"series\":\"bulk/dev%02d/metric\",\"ts\":%d,\"value\":%.3f}\n",
+			i%nSeries, ts.Unix(), v)
+		if (i+1)%batch == 0 {
+			sendFrame()
+		}
+	}
+	sendFrame()
+	elapsed := time.Since(t0)
+	rate := float64(accepted) / elapsed.Seconds()
+	fmt.Printf("push-bulk: %d frames, accepted=%d rejected=%d in %v (%.0f points/s)\n",
+		frames, accepted, rejected, elapsed.Round(time.Millisecond), rate)
+	if accepted+rejected != samples {
+		fatal(fmt.Errorf("push-bulk: sent %d lines, server accounted %d", samples, accepted+rejected))
+	}
+	if rejected != 0 {
+		fatal(fmt.Errorf("push-bulk: %d lines rejected (expected a clean ascending stream)", rejected))
+	}
+	if minRate > 0 && rate < minRate {
+		fatal(fmt.Errorf("push-bulk: %.0f points/s is below the -push-min-rate floor of %.0f", rate, minRate))
+	}
+	fmt.Println("push-bulk: PASS — bulk lane accounting matches and the rate floor held")
 }
 
 // runPushScenario replays a catalog regime's wire traffic against a

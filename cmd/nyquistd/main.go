@@ -30,6 +30,7 @@
 //	         [-tier-capacity 1024] [-tiers 2] [-compress-block 128]
 //	         [-cache-bytes 33554432]
 //	         [-window 256] [-emit-every 8] [-max-body 8388608]
+//	         [-bulk-addr ADDR]
 //	         [-max-series 1000000] [-evict-after -1]
 //	         [-data-dir DIR] [-fsync-every 10ms] [-snapshot-every 60s]
 //	         [-scrub-every 60s] [-self-scrape 0] [-debug-addr ADDR]
@@ -77,6 +78,7 @@ func main() {
 		maxSeries    = flag.Int("max-series", 1_000_000, "estimator series cap; new series beyond it are stored but not estimated (0 = unbounded)")
 		evictAfter   = flag.Int("evict-after", -1, "observations of idleness before a capped-out estimator LRU-evicts an idle series (0 = never evict, negative = 4x max-series)")
 		maxBody      = flag.Int64("max-body", 8<<20, "max ingest request body in bytes")
+		bulkAddr     = flag.String("bulk-addr", "", "listen address for the plain-TCP length-prefixed bulk ingest lane (empty = off)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
 
 		dataDir       = flag.String("data-dir", "", "durability directory for the WAL and snapshots (empty = memory-only)")
@@ -156,6 +158,24 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
+	// The bulk lane binds alongside the HTTP listener; frames arriving
+	// before WAL replay finishes draw the same not-ready error the HTTP
+	// endpoints answer with 503.
+	var bulkLn net.Listener
+	if *bulkAddr != "" {
+		bulkLn, err = net.Listen("tcp", *bulkAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nyquistd: bulk listen %s: %v\n", *bulkAddr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("nyquistd: bulk lane on %s\n", bulkLn.Addr())
+		go func() {
+			if err := srv.ServeBulk(bulkLn); err != nil {
+				logger.Error("bulk listener failed", "addr", bulkLn.Addr(), "err", err)
+			}
+		}()
+	}
+
 	var durable *wal.Durable
 	if *dataDir != "" {
 		durable, err = wal.Open(*dataDir, store, est, wal.Options{
@@ -208,6 +228,11 @@ func main() {
 	}
 	stop()
 	fmt.Println("nyquistd: shutting down, draining in-flight requests")
+	if bulkLn != nil {
+		// Stop admitting bulk frames before the HTTP drain; pushers see
+		// the close as end-of-stream and reconnect elsewhere.
+		bulkLn.Close()
+	}
 	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -34,8 +34,6 @@
 package api
 
 import (
-	"bufio"
-	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -130,6 +128,12 @@ type Server struct {
 	slowQuery time.Duration
 	reqSeq    atomic.Int64
 
+	// interned is the cross-request series-id intern table (see
+	// ingest.go): the first sighting of a series name materializes the
+	// string; every later batch — HTTP or bulk lane — resolves it with an
+	// allocation-free lookup.
+	interned interner
+
 	// ready gates the data endpoints: false while the WAL replays into
 	// the store (the listener is already up so probes and /metrics can
 	// watch recovery), true once traffic is safe.
@@ -176,6 +180,7 @@ func NewServer(cfg Config) *Server {
 		logger:    cfg.Logger,
 		slowQuery: cfg.SlowQuery,
 	}
+	s.interned.m = make(map[string]string)
 	if cfg.WAL != nil {
 		s.walp.Store(cfg.WAL)
 	}
@@ -247,120 +252,27 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, code int, ms
 	s.writeJSON(w, r, code, errorBody{Error: msg})
 }
 
-// handleIngest consumes a JSON-lines batch (see IngestLine), appending
-// every parseable point to the store and the estimate-on-ingest hook.
-// Malformed lines are counted and reported, not fatal — a telemetry
-// batch with one bad record must not lose the other 999 — unless every
-// line fails, which returns 400.
+// handleIngest consumes a JSON-lines batch (see IngestLine) through the
+// batched zero-copy core in ingest.go: lines scan in place against a
+// pooled buffer, points land through per-shard batch appends, and repeat
+// series cost no per-line allocations. Malformed lines are counted and
+// reported, not fatal — a telemetry batch with one bad record must not
+// lose the other 999 — unless every line fails, which returns 400.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	// maxLineBytes bounds one line; longer lines are rejected
-	// individually — the rest of the batch still lands (a Scanner's
-	// ErrTooLong would silently drop every subsequent line).
-	const maxLineBytes = 1 << 20
-	body := bufio.NewReaderSize(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), 64<<10)
 	resp := IngestResponse{}
 	// Per-batch tallies, flushed into the registry once at the end: one
 	// atomic add per counter per request instead of per line keeps the
 	// instrumented hot path within its overhead budget.
 	var tally ingestTally
 	defer tally.flush(s.metrics)
-	// seen doubles as the per-request series-name intern table: the fast
-	// parser yields names as byte slices into the read buffer, and the
-	// map lookup with a string(bytes) key is allocation-free, so each
-	// distinct series name is materialized once per batch instead of
-	// once per line.
-	seen := map[string]string{}
-	lineNo := 0
-	intern := func(b []byte) (string, bool) {
-		if id, ok := seen[string(b)]; ok {
-			return id, false
-		}
-		id := string(b)
-		seen[id] = id
-		return id, true
+	// runIngest folds every read failure except the body limit into the
+	// response as a rejected line, so a non-nil error here is exactly the
+	// 413 contract.
+	if err := s.runIngest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), &resp, &tally); err != nil {
+		s.writeError(w, r, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("body exceeds %d bytes after %d accepted points; split the batch", s.cfg.MaxBodyBytes, resp.Accepted))
+		return
 	}
-	ingestPoint := func(id string, p series.Point, isNew bool) {
-		// An append the store refuses is a rejected line, not an
-		// accepted one, and must not feed the estimator: an out-of-order
-		// point that never landed would otherwise count as Accepted and
-		// still poison the series' interval probe and analysis window.
-		if aerr := s.store.Append(id, p); aerr != nil {
-			resp.reject(lineNo, appendReason(aerr))
-			switch {
-			case errors.Is(aerr, tsdb.ErrOutOfOrder):
-				tally.rejOutOfOrder++
-			case errors.Is(aerr, tsdb.ErrTimeRange):
-				tally.rejTimeRange++
-			default:
-				tally.rejStoreOther++
-			}
-			if isNew {
-				// Series counts series that landed points; un-intern so
-				// a later accepted point still counts it.
-				delete(seen, id)
-			}
-			return
-		}
-		if !s.ingest.Observe(id, p) {
-			resp.EstimatorDropped++
-			tally.estDropped++
-		}
-		resp.Accepted++
-		if isNew {
-			resp.Series++
-		}
-	}
-	for {
-		line, err := body.ReadBytes('\n')
-		if len(line) > 0 {
-			lineNo++
-			switch line = bytes.TrimRight(line, "\r\n"); {
-			case len(line) > maxLineBytes:
-				resp.reject(lineNo, fmt.Sprintf("line exceeds %d bytes", maxLineBytes))
-				tally.rejTooLong++
-			case len(line) == 0 || allSpace(line):
-				// blank separator
-			default:
-				if fl, ok := fastParseLine(line); ok {
-					tally.fast++
-					id, isNew := intern(fl.series)
-					ingestPoint(id, series.Point{Time: fl.t, Value: fl.value}, isNew)
-					break
-				}
-				tally.fallback++
-				var in IngestLine
-				if jerr := json.Unmarshal(line, &in); jerr != nil {
-					resp.reject(lineNo, fmt.Sprintf("bad JSON: %v", jerr))
-					tally.rejBadJSON++
-					break
-				}
-				p, perr := in.point()
-				if perr != nil {
-					resp.reject(lineNo, perr.Error())
-					tally.rejBadShape++
-					break
-				}
-				id, isNew := intern([]byte(in.Series))
-				ingestPoint(id, p, isNew)
-			}
-		}
-		if err != nil {
-			if err == io.EOF {
-				break
-			}
-			var tooLarge *http.MaxBytesError
-			if errors.As(err, &tooLarge) {
-				tally.lines, tally.accepted, tally.rejected = int64(lineNo), int64(resp.Accepted), int64(resp.Rejected)
-				s.writeError(w, r, http.StatusRequestEntityTooLarge,
-					fmt.Sprintf("body exceeds %d bytes after %d accepted points; split the batch", s.cfg.MaxBodyBytes, resp.Accepted))
-				return
-			}
-			resp.reject(lineNo+1, err.Error())
-			tally.rejReadError++
-			break
-		}
-	}
-	tally.lines, tally.accepted, tally.rejected = int64(lineNo), int64(resp.Accepted), int64(resp.Rejected)
 	if resp.Accepted == 0 && resp.Rejected > 0 {
 		s.writeJSON(w, r, http.StatusBadRequest, resp)
 		return
@@ -372,6 +284,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // publishes them with a handful of atomic adds.
 type ingestTally struct {
 	lines, accepted, rejected, estDropped int64
+	bytes                                 int64
 	fast, fallback                        int64
 	rejBadJSON, rejBadShape, rejTooLong   int64
 	rejOutOfOrder, rejTimeRange           int64
@@ -380,6 +293,7 @@ type ingestTally struct {
 
 func (t *ingestTally) flush(m *serverMetrics) {
 	m.batchLines.Observe(float64(t.lines))
+	m.batchBytes.Observe(float64(t.bytes))
 	m.ingestAccepted.Add(t.accepted)
 	m.ingestRejected.Add(t.rejected)
 	m.ingestEstDropped.Add(t.estDropped)

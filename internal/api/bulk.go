@@ -1,0 +1,137 @@
+// The plain-TCP bulk ingest lane (nyquistd -bulk-addr): the same
+// JSON-lines batches as POST /api/v1/ingest, framed with a 4-byte
+// big-endian length prefix instead of HTTP. High-rate pushers pay HTTP's
+// per-request tax — header parsing, routing, response headers — hundreds
+// of times per second at 2M points/s with 4096-line batches; the bulk
+// lane strips the exchange to length+payload over one long-lived
+// connection while reusing the exact parse/append core (ingest.go), so
+// both lanes share one accounting contract and one metrics inventory.
+//
+// Wire protocol (see docs/API.md "Bulk lane"):
+//
+//	client → server:  repeated frames [uint32 big-endian N][N bytes JSON-lines]
+//	server → client:  per frame, [uint32 big-endian M][M bytes JSON]
+//
+// The response JSON is the same IngestResponse as the HTTP endpoint, or
+// {"error": "..."} for frame-level failures (oversize frame, server not
+// ready). A frame longer than MaxBodyBytes draws an error response and
+// closes the connection — the stream offset can't be trusted past a
+// frame the server refused to read. Closing the connection between
+// frames is the clean shutdown.
+
+package api
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+)
+
+// bulkReadBuffer sizes each connection's buffered reader; frames larger
+// than this stream through it in chunks.
+const bulkReadBuffer = 64 << 10
+
+// ServeBulk accepts bulk-lane connections on ln until the listener
+// closes, serving each connection on its own goroutine. Closing ln is
+// the shutdown signal: in-flight frames finish, and ServeBulk returns
+// nil.
+func (s *Server) ServeBulk(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.serveBulkConn(conn)
+	}
+}
+
+func (s *Server) serveBulkConn(conn net.Conn) {
+	s.metrics.bulkConns.Add(1)
+	defer s.metrics.bulkConns.Add(-1)
+	defer conn.Close()
+	var (
+		hdr     [4]byte
+		payload []byte
+		out     bytes.Buffer
+		br      bytes.Reader
+		rd      = bufio.NewReaderSize(conn, bulkReadBuffer)
+		wr      = bufio.NewWriterSize(conn, 4<<10)
+	)
+	for {
+		if _, err := io.ReadFull(rd, hdr[:]); err != nil {
+			// EOF on a frame boundary is the clean hangup; anything else
+			// (mid-header cut, reset) has no recovery either way.
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if int64(n) > s.cfg.MaxBodyBytes {
+			// Mirror of HTTP's 413. The payload was never read, so the
+			// stream offset is unknown from here: answer and hang up.
+			s.writeBulkFrame(wr, &out, errorBody{Error: fmt.Sprintf(
+				"frame exceeds %d bytes; split the batch", s.cfg.MaxBodyBytes)})
+			wr.Flush()
+			return
+		}
+		if int(n) > cap(payload) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(rd, payload); err != nil {
+			return
+		}
+		s.metrics.bulkFrames.Inc()
+		s.metrics.bulkBytes.Add(int64(n))
+		if !s.ready.Load() {
+			// Same gate as the HTTP data endpoints (middleware.go): no
+			// writes land while the WAL replays. The connection survives —
+			// the pusher retries the frame.
+			if s.writeBulkFrame(wr, &out, errorBody{Error: "starting: WAL replay in progress, retry shortly"}) != nil {
+				return
+			}
+			if wr.Flush() != nil {
+				return
+			}
+			continue
+		}
+		resp := IngestResponse{}
+		var tally ingestTally
+		br.Reset(payload)
+		// A bytes.Reader can't hit the HTTP body limit, so the error
+		// return is always nil here; every line-level failure is already
+		// inside resp.
+		_ = s.runIngest(&br, &resp, &tally)
+		tally.flush(s.metrics)
+		if s.writeBulkFrame(wr, &out, resp) != nil {
+			return
+		}
+		if wr.Flush() != nil {
+			return
+		}
+	}
+}
+
+// writeBulkFrame encodes v as one length-prefixed JSON response frame.
+// An encode failure is counted like an HTTP response-write failure — it
+// cannot be reported to this client either.
+func (s *Server) writeBulkFrame(w io.Writer, buf *bytes.Buffer, v any) error {
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 0})
+	enc := json.NewEncoder(buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		s.metrics.httpWriteErrs.Inc()
+		return err
+	}
+	b := buf.Bytes()
+	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+	_, err := w.Write(b)
+	return err
+}

@@ -23,7 +23,23 @@ import (
 	"strconv"
 	"time"
 	"unicode/utf8"
+	"unsafe"
 )
+
+// viewString returns b viewed as a string without copying. The view is
+// only valid while b's backing buffer is neither reused nor mutated, so
+// it is strictly for handing tokens to parse functions (strconv, the
+// epoch parser, time.Parse with a fixed layout) that return scalars and
+// retain nothing on success; errors carrying the view are discarded
+// before the buffer can be recycled. This is what keeps the fast path at
+// zero allocations per line — string(tok) at these call sites was one
+// heap copy per number parsed.
+func viewString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
 
 // fastLine is the fast path's output: the series name still as raw
 // bytes (interned by the caller), the parsed timestamp, and the value.
@@ -66,7 +82,7 @@ func fastParseLine(line []byte) (out fastLine, ok bool) {
 				return out, false
 			}
 			if s, sok := p.simpleString(); sok {
-				t, err := time.Parse(time.RFC3339Nano, string(s))
+				t, err := time.Parse(time.RFC3339Nano, viewString(s))
 				if err != nil {
 					return out, false
 				}
@@ -76,7 +92,7 @@ func fastParseLine(line []byte) (out fastLine, ok bool) {
 				if !nok {
 					return out, false
 				}
-				t, err := timeFromUnixSeconds(string(tok))
+				t, err := timeFromUnixSeconds(viewString(tok))
 				if err != nil {
 					return out, false
 				}
@@ -88,7 +104,7 @@ func fastParseLine(line []byte) (out fastLine, ok bool) {
 			if !nok || haveValue {
 				return out, false
 			}
-			v, err := strconv.ParseFloat(string(tok), 64)
+			v, err := strconv.ParseFloat(viewString(tok), 64)
 			if err != nil || math.IsInf(v, 0) {
 				return out, false
 			}

@@ -69,6 +69,12 @@ type serverMetrics struct {
 	parseFast        *obs.Counter
 	parseFallback    *obs.Counter
 	batchLines       *obs.Histogram
+	batchBytes       *obs.Histogram
+
+	// Bulk lane (the plain-TCP length-prefixed ingest listener).
+	bulkConns  *obs.Gauge
+	bulkFrames *obs.Counter
+	bulkBytes  *obs.Counter
 
 	rejBadJSON    *obs.Counter
 	rejBadShape   *obs.Counter
@@ -136,6 +142,15 @@ func newServerMetrics(reg *obs.Registry, store *monitor.Store, est *monitor.Inge
 	m.rejReadError = rejects.With("read_error")
 	m.batchLines = reg.Histogram("nyquistd_ingest_batch_lines",
 		"Non-blank lines per ingest batch.", obs.SizeBuckets)
+	m.batchBytes = reg.Histogram("nyquistd_ingest_batch_bytes",
+		"Payload bytes consumed per ingest batch (HTTP body or bulk frame), counted once by the ingest core.", obs.SizeBuckets)
+
+	m.bulkConns = reg.Gauge("nyquistd_bulk_connections",
+		"Bulk-lane TCP connections currently open.")
+	m.bulkFrames = reg.Counter("nyquistd_bulk_frames_total",
+		"Length-prefixed batch frames processed on the bulk lane.")
+	m.bulkBytes = reg.Counter("nyquistd_bulk_bytes_total",
+		"Payload bytes received on the bulk lane (frame bodies, excluding length prefixes).")
 
 	m.querySeconds = reg.Histogram("nyquistd_query_seconds",
 		"Tier-stitched range-read wall time (store read + stitch, excluding JSON encoding).", obs.LatencyBuckets)

@@ -267,3 +267,54 @@ func TestSlowRequestThresholdDefaults(t *testing.T) {
 		t.Fatalf("negative slow-query = %v, want -1 (disabled)", srv.slowQuery)
 	}
 }
+
+// TestIngestBodyBytesCountedOnce pins the body-byte accounting contract
+// after the batched-ingest rewrite: the route middleware records
+// nyquistd_http_request_body_bytes_total exactly once per request from
+// Content-Length, and the ingest core records the same byte count into
+// the nyquistd_ingest_batch_bytes histogram exactly once per batch. The
+// old per-line handler summed read-loop bytes into the HTTP counter on
+// top of the middleware's Content-Length add, double-counting every
+// ingest body; this test fails if either layer ever grows a second
+// recording site.
+func TestIngestBodyBytesCountedOnce(t *testing.T) {
+	srv, ts := newTestServer(t)
+	body := `{"series":"bytes/a","ts":1753500000,"value":1}` + "\n" +
+		`{"series":"bytes/a","ts":1753500001,"value":2}` + "\n"
+	resp, err := http.Post(ts.URL+"/api/v1/ingest", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: HTTP %d", resp.StatusCode)
+	}
+
+	if v := srv.metrics.httpBodyBytes.With("ingest").Value(); v != int64(len(body)) {
+		t.Fatalf("http_request_body_bytes{ingest} = %d after one %d-byte body, want exactly %d (double-count regression)",
+			v, len(body), len(body))
+	}
+	if n := srv.metrics.batchBytes.Count(); n != 1 {
+		t.Fatalf("ingest_batch_bytes count = %d after one batch, want 1", n)
+	}
+	if s := srv.metrics.batchBytes.Sum(); s != float64(len(body)) {
+		t.Fatalf("ingest_batch_bytes sum = %v after one %d-byte body, want exactly %d (double-count regression)",
+			s, len(body), len(body))
+	}
+
+	// A second identical body must advance both by exactly one body's
+	// worth — linear in requests, not quadratic.
+	resp, err = http.Post(ts.URL+"/api/v1/ingest", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if v := srv.metrics.httpBodyBytes.With("ingest").Value(); v != int64(2*len(body)) {
+		t.Fatalf("http_request_body_bytes{ingest} = %d after two bodies, want %d", v, 2*len(body))
+	}
+	if s := srv.metrics.batchBytes.Sum(); s != float64(2*len(body)) {
+		t.Fatalf("ingest_batch_bytes sum = %v after two bodies, want %d", s, 2*len(body))
+	}
+}

@@ -219,30 +219,86 @@ func NewIngestEstimator(store *Store, cfg IngestConfig) *IngestEstimator {
 // returns false.
 func (e *IngestEstimator) Observe(id string, p series.Point) bool {
 	tick := e.clock.Add(1)
+	s := e.lookupOrCreate(id, tick)
+	if s == nil {
+		return false
+	}
+	s.lastSeen.Store(tick)
+	s.mu.Lock()
+	e.observeLocked(s, id, p)
+	s.mu.Unlock()
+	return true
+}
+
+// ObserveRun ingests a same-series run of points in arrival order:
+// semantically exactly len(pts) Observe calls, but the series is
+// resolved once and its lock is held for the whole run, so the batched
+// ingest path pays one map lookup and one lock round-trip per series per
+// batch instead of per point. Returns the number of points observed; the
+// remainder was dropped at the MaxSeries cap. Drops are always a prefix
+// of the run — each dropped point retries admission (eviction can free a
+// slot mid-run, exactly as per-point Observe calls would), and once the
+// series exists nothing declines.
+func (e *IngestEstimator) ObserveRun(id string, pts []series.Point) int {
+	dropped := 0
+	var s *ingestSeries
+	var tick int64
+	for dropped < len(pts) {
+		tick = e.clock.Add(1)
+		if s = e.lookupOrCreate(id, tick); s != nil {
+			break
+		}
+		dropped++
+	}
+	if s == nil {
+		return 0
+	}
+	s.lastSeen.Store(tick)
+	run := pts[dropped:]
+	if len(run) > 1 {
+		// Advance the estimator-wide clock for the rest of the run in one
+		// add: intermediate tick values are observable only as LRU
+		// recency, and only the newest stamp matters.
+		s.lastSeen.Store(e.clock.Add(int64(len(run) - 1)))
+	}
+	s.mu.Lock()
+	for i := range run {
+		e.observeLocked(s, id, run[i])
+	}
+	s.mu.Unlock()
+	return len(run)
+}
+
+// lookupOrCreate resolves id's hook state, creating it on first sight.
+// A nil return means the MaxSeries cap held and nothing idle could be
+// evicted: the observation is dropped and counted.
+func (e *IngestEstimator) lookupOrCreate(id string, tick int64) *ingestSeries {
 	e.mu.RLock()
 	s := e.series[id]
 	e.mu.RUnlock()
-	if s == nil {
-		e.mu.Lock()
-		if s = e.series[id]; s == nil {
-			if e.cfg.MaxSeries > 0 && len(e.series) >= e.cfg.MaxSeries && !e.evictOneLocked(tick) {
-				e.rejected++
-				e.mu.Unlock()
-				return false
-			}
-			s = &ingestSeries{}
-			e.series[id] = s
-		}
-		e.mu.Unlock()
+	if s != nil {
+		return s
 	}
-	s.lastSeen.Store(tick)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s = e.series[id]; s == nil {
+		if e.cfg.MaxSeries > 0 && len(e.series) >= e.cfg.MaxSeries && !e.evictOneLocked(tick) {
+			e.rejected++
+			return nil
+		}
+		s = &ingestSeries{}
+		e.series[id] = s
+	}
+	return s
+}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// observeLocked is the per-point body shared by Observe and ObserveRun.
+// Called with s.mu held.
+func (e *IngestEstimator) observeLocked(s *ingestSeries, id string, p series.Point) {
 	s.samples++
 	if s.est == nil {
 		s.probe(e, id, p)
-		return true
+		return
 	}
 	// Drift watch: a sustained change in the inter-arrival gap means
 	// the client changed its poll rate; the locked grid (and with it
@@ -259,7 +315,7 @@ func (e *IngestEstimator) Observe(id string, p series.Point) bool {
 			if s.drift > e.cfg.ProbeGaps {
 				s.reprobe(p)
 				e.reprobesTotal.Add(1)
-				return true
+				return
 			}
 		}
 	}
@@ -282,7 +338,6 @@ func (e *IngestEstimator) Observe(id string, p series.Point) bool {
 			}
 		}
 	}
-	return true
 }
 
 // evictBatch caps how many candidates one eviction scan caches: enough

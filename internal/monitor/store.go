@@ -65,6 +65,14 @@ func (s *Store) AppendUniform(id string, u *series.Uniform) error {
 	return s.db.AppendUniform(id, u)
 }
 
+// AppendBatch appends a mixed-series batch with one shard-lock
+// acquisition per touched shard, writing each point's verdict into its
+// Err field (see tsdb.DB.AppendBatch). Returns the number of accepted
+// points.
+func (s *Store) AppendBatch(pts []tsdb.BatchPoint) int {
+	return s.db.AppendBatch(pts)
+}
+
 // SealActive force-seals every series' active compressed run (see
 // tsdb.DB.SealAll) so a write-ahead log sees the unsealed tails before
 // shutdown. Returns the number of blocks sealed.

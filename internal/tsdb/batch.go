@@ -1,0 +1,132 @@
+// Shard-affinity batched appends: the write-path counterpart of
+// AppendUniform for mixed-series batches. The serving layer parses a
+// whole ingest batch before touching the store; AppendBatch then groups
+// the batch's points by their FNV target shard and flushes each group
+// under a single shard-lock acquisition — one lock round-trip per shard
+// per batch instead of one per point. Per-series arrival order is
+// preserved: a series maps to exactly one shard, the grouping scatter is
+// stable, and each shard's group is applied in arrival order, so the
+// strict-append verdict for every point is identical to what a per-point
+// Append loop would have produced.
+
+package tsdb
+
+import (
+	"sync"
+
+	"repro/internal/series"
+)
+
+// BatchPoint is one point of an AppendBatch call. Err is an output: nil
+// after the call means the point landed; under StrictAppend a refused
+// point carries ErrOutOfOrder/ErrTimeRange exactly as Append would have
+// returned it. Writing verdicts in place keeps the batch path free of
+// per-call result allocations.
+type BatchPoint struct {
+	ID  string
+	P   series.Point
+	Err error
+}
+
+// batchScratch is the pooled grouping state of one AppendBatch call: a
+// counting-sort of point indexes by target shard. Pooled so steady-state
+// batches allocate nothing for grouping.
+type batchScratch struct {
+	shardOf []uint32 // target shard per point
+	counts  []int32  // points per shard
+	offs    []int32  // running scatter offsets per shard
+	bounds  []int32  // group end offsets per shard (start = previous end)
+	order   []int32  // point indexes grouped by shard, arrival order within
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+func (sc *batchScratch) size(points, shards int) {
+	if cap(sc.shardOf) < points {
+		sc.shardOf = make([]uint32, points)
+		sc.order = make([]int32, points)
+	}
+	sc.shardOf = sc.shardOf[:points]
+	sc.order = sc.order[:points]
+	if cap(sc.counts) < shards {
+		sc.counts = make([]int32, shards)
+		sc.offs = make([]int32, shards)
+		sc.bounds = make([]int32, shards)
+	}
+	sc.counts = sc.counts[:shards]
+	sc.offs = sc.offs[:shards]
+	sc.bounds = sc.bounds[:shards]
+	for i := range sc.counts {
+		sc.counts[i] = 0
+	}
+}
+
+// AppendBatch appends every point of the batch, grouping points by
+// target shard so each touched shard's lock is taken once for the whole
+// batch. Each point's verdict is written to its Err field (always nil in
+// lenient mode; ErrOutOfOrder/ErrTimeRange under StrictAppend), and the
+// number of accepted points is returned. Points of the same series are
+// applied in slice order, so per-series verdicts — and the per-series
+// seal order the WAL hook observes — match a sequential Append loop
+// exactly. Points of distinct series interleave differently than a
+// sequential loop would (shard by shard instead of arrival order), which
+// no contract observes: series are independent everywhere downstream.
+func (db *DB) AppendBatch(pts []BatchPoint) (accepted int) {
+	if len(pts) == 0 {
+		return 0
+	}
+	shards := uint32(len(db.shards))
+	sc := batchScratchPool.Get().(*batchScratch)
+	sc.size(len(pts), int(shards))
+	for i := range pts {
+		s := fnv32a(pts[i].ID) % shards
+		sc.shardOf[i] = s
+		sc.counts[s]++
+	}
+	off := int32(0)
+	for s := range sc.counts {
+		sc.offs[s] = off
+		off += sc.counts[s]
+		sc.bounds[s] = off
+	}
+	for i := range pts {
+		s := sc.shardOf[i]
+		sc.order[sc.offs[s]] = int32(i)
+		sc.offs[s]++
+	}
+	start := int32(0)
+	for s := 0; s < int(shards); s++ {
+		end := sc.bounds[s]
+		if start == end {
+			continue
+		}
+		sh := &db.shards[s]
+		sh.mu.Lock()
+		var m *memSeries
+		lastID := ""
+		for _, idx := range sc.order[start:end] {
+			bp := &pts[idx]
+			// Same-series runs reuse the resolved series and defer the
+			// seal-hook drain to the run boundary; the hook still sees
+			// per-series seal order (everything here is under the lock).
+			if m == nil || bp.ID != lastID {
+				if m != nil {
+					db.drainSealed(sh, lastID, m)
+				}
+				m = sh.getOrCreate(bp.ID, &db.cfg.Retention)
+				lastID = bp.ID
+			}
+			bp.Err = m.append(bp.P, &db.cfg.Retention, db.cfg.StrictAppend)
+			if bp.Err == nil {
+				accepted++
+			}
+		}
+		if m != nil {
+			db.drainSealed(sh, lastID, m)
+		}
+		sh.mu.Unlock()
+		start = end
+	}
+	batchScratchPool.Put(sc)
+	return accepted
+}

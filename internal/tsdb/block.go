@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 	"time"
 
 	"repro/internal/series"
@@ -464,6 +465,29 @@ func EncodeBlock(pts []series.Point) (Block, error) {
 		}
 	}
 	return b.Finish(), nil
+}
+
+// blockBuilderPool recycles encode scratch — the builder struct and its
+// bit buffer — across seals. Under sustained ingest every series seals a
+// block every CompressBlock points; a fresh builder per seal made the
+// seal path the write side's main GC churn.
+var blockBuilderPool = sync.Pool{New: func() any { return NewBlockBuilder() }}
+
+// encodeBlockPooled is EncodeBlock with pooled scratch. Finish copies the
+// payload into the immutable Block, so the returned block shares nothing
+// with the pooled builder.
+func encodeBlockPooled(pts []series.Point) (Block, error) {
+	b := blockBuilderPool.Get().(*BlockBuilder)
+	b.Reset()
+	for _, p := range pts {
+		if err := b.Append(p.Time, p.Value); err != nil {
+			blockBuilderPool.Put(b)
+			return Block{}, err
+		}
+	}
+	blk := b.Finish()
+	blockBuilderPool.Put(b)
+	return blk, nil
 }
 
 // bucketBlock is the summary-tier counterpart of Block: a sealed

@@ -157,7 +157,7 @@ func (c *compPoints) seal() {
 		sort.SliceStable(pts, func(a, b int) bool { return pts[a].Time.Before(pts[b].Time) })
 	}
 	seg := pointSeg{}
-	if blk, err := EncodeBlock(pts); err == nil {
+	if blk, err := encodeBlockPooled(pts); err == nil {
 		seg.blk = blk
 		seg.seq = nextSegSeq()
 		c.sealed = append(c.sealed, blk)

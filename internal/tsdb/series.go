@@ -111,7 +111,13 @@ type tier struct {
 	cb     *compBuckets
 	cur    bucket
 	curSet bool
-	evb    [1]bucket // reusable eviction buffer for ring mode
+	// next caches the grid start adjacent to cur under the CURRENT
+	// width — the fast path for the dense in-order cadence, letting
+	// ingest skip Truncate's 128-bit division per point. Zero means
+	// unknown (fresh tier, restored tier, or width retuned while cur
+	// was open on the old grid) and forces the exact slow path.
+	next time.Time
+	evb  [1]bucket // reusable eviction buffer for ring mode
 }
 
 func newTier(width time.Duration, rc *RetentionConfig) *tier {
@@ -317,6 +323,7 @@ func (m *memSeries) ingest(k int, b bucket) {
 		b.end = b.start.Add(t.width)
 		t.cur = b
 		t.curSet = true
+		t.next = b.start.Add(t.width)
 		return
 	}
 	// Common case: the point lands in the open bucket (or before it,
@@ -325,10 +332,24 @@ func (m *memSeries) ingest(k int, b bucket) {
 		t.cur.merge(b)
 		return
 	}
-	gridStart := b.start.Truncate(t.width)
-	if !gridStart.After(t.cur.start) {
-		t.cur.merge(b)
-		return
+	// Next-bucket fast path: when t.next is known, cur.start sits on
+	// the current width's grid and t.next is the adjacent grid start,
+	// so a point landing inside [next, next+width) opens exactly the
+	// adjacent bucket. That is the dense in-order cadence, and
+	// answering it with two comparisons skips Truncate's 128-bit
+	// division — measurably hot when every append cascades a raw point
+	// through here. A retune zeroes t.next (cur then straddles the old
+	// grid), falling back to the exact slow path until the next bucket
+	// opens on the new grid.
+	var gridStart time.Time
+	if !t.next.IsZero() && !b.start.Before(t.next) && b.start.Before(t.next.Add(t.width)) {
+		gridStart = t.next
+	} else {
+		gridStart = b.start.Truncate(t.width)
+		if !gridStart.After(t.cur.start) {
+			t.cur.merge(b)
+			return
+		}
 	}
 	for _, ev := range t.push(t.cur) {
 		if k+1 < len(m.tiers) {
@@ -340,6 +361,7 @@ func (m *memSeries) ingest(k int, b bucket) {
 	b.start = gridStart
 	b.end = gridStart.Add(t.width)
 	t.cur = b
+	t.next = gridStart.Add(t.width)
 }
 
 // ensureTiers lazily creates the downsampled tiers on first compaction,
@@ -367,6 +389,10 @@ func (m *memSeries) retune(rc *RetentionConfig) {
 	widths := m.tierWidths(rc)
 	for i, t := range m.tiers {
 		t.width = widths[i]
+		// The open bucket still sits on the old grid; drop the cached
+		// adjacent grid start so ingest recomputes via Truncate until a
+		// bucket opens on the new grid.
+		t.next = time.Time{}
 	}
 }
 

@@ -73,12 +73,24 @@ start_daemon() {
 }
 
 log="$workdir/nyquistd.log"
-start_daemon "$log" -addr 127.0.0.1:0
+start_daemon "$log" -addr 127.0.0.1:0 -bulk-addr 127.0.0.1:0
 echo "server_smoke: nyquistd up on port $port"
 
 # The load generator exits non-zero when the server's estimate misses
 # the diurnal ground truth — that failure fails the job via set -e.
 "$workdir/monitorsim" -push "http://127.0.0.1:$port"
+
+# Bulk lane: the same parse/append core over the plain-TCP
+# length-prefixed lane. The generator asserts exact accepted+rejected
+# accounting frame by frame and a sustained throughput floor — a lane
+# that silently drops frames or crawls fails the job.
+bulk=$(sed -n 's/.*bulk lane on \(.*\)$/\1/p' "$log" | head -1)
+if [ -z "$bulk" ]; then
+    echo "server_smoke: nyquistd never reported its bulk lane" >&2
+    cat "$log" >&2
+    exit 1
+fi
+"$workdir/monitorsim" -push-bulk "$bulk" -push-min-rate 25000
 
 curl -sf "http://127.0.0.1:$port/healthz" >/dev/null
 curl -sf "http://127.0.0.1:$port/readyz" >/dev/null
@@ -125,7 +137,9 @@ for fam in nyquistd_http_requests_total nyquistd_http_request_seconds \
     nyquistd_tsdb_series nyquistd_wal_enabled nyquistd_wal_fsync_seconds \
     nyquistd_query_cache_hits_total nyquistd_query_cache_misses_total \
     nyquistd_query_cache_bytes nyquistd_query_cache_max_bytes \
-    nyquistd_estimator_series nyquistd_estimator_probes_total nyquistd_up; do
+    nyquistd_estimator_series nyquistd_estimator_probes_total nyquistd_up \
+    nyquistd_bulk_frames_total nyquistd_bulk_bytes_total \
+    nyquistd_bulk_connections nyquistd_ingest_batch_bytes; do
     grep -q "^# TYPE $fam " "$workdir/metrics.txt" || {
         echo "server_smoke: /metrics missing family $fam" >&2; exit 1; }
 done
