@@ -411,11 +411,14 @@ func (ctl *Controller) pollOne(i int) perDevice {
 		st.Push(v)
 		block[k] = v
 	}
-	ctl.store.AppendUniform(d.ID, &series.Uniform{
+	if err := ctl.store.AppendUniform(d.ID, &series.Uniform{
 		Start:    ctl.cfg.Start.Add(time.Duration(base * float64(time.Second))),
 		Interval: interval,
 		Values:   block,
-	})
+	}); err != nil {
+		out.err = err
+		return out
+	}
 	ctl.cursor[i] = base + float64(n)*ivs
 
 	res, err := st.Current()

@@ -225,7 +225,9 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /api/v1/stats", s.route("stats", false, s.handleStats))
 	mux.Handle("GET /healthz", s.route("healthz", false, s.handleHealthz))
 	mux.Handle("GET /readyz", s.route("readyz", false, s.handleReadyz))
-	mux.Handle("GET /metrics", s.route("metrics", false, s.cfg.Metrics.Handler().ServeHTTP))
+	mux.Handle("GET /metrics", s.route("metrics", false, s.cfg.Metrics.Handler(func(error) {
+		s.metrics.httpWriteErrs.Inc()
+	}).ServeHTTP))
 	return s.wrap(mux)
 }
 
@@ -316,6 +318,7 @@ func appendReason(err error) string {
 	case errors.Is(err, tsdb.ErrTimeRange):
 		return "timestamp outside the storable range (years 1678-2262)"
 	default:
+		//nyquist:allow-alloc reject path: the reason is rendered once per rejected point
 		return "store rejected the point: " + err.Error()
 	}
 }
@@ -625,6 +628,7 @@ func timeFromUnixSeconds(s string) (time.Time, error) {
 		sec, err := strconv.ParseFloat(s, 64)
 		const maxAbs = float64(1<<63-1) / 1e9
 		if err != nil || sec != sec || sec < -maxAbs || sec > maxAbs {
+			//nyquist:allow-alloc error path: a malformed timestamp bails the line off the fast path
 			return time.Time{}, fmt.Errorf("%q is not a representable Unix-seconds timestamp", s)
 		}
 		whole := int64(sec)
@@ -640,6 +644,7 @@ func timeFromUnixSeconds(s string) (time.Time, error) {
 	if intPart == "" {
 		if frac == "" {
 			// "-", "." and "-." are not timestamps, not epoch 0.
+			//nyquist:allow-alloc error path: a malformed timestamp bails the line off the fast path
 			return time.Time{}, fmt.Errorf("%q is not a representable Unix-seconds timestamp", s)
 		}
 		intPart = "0"
@@ -648,6 +653,7 @@ func timeFromUnixSeconds(s string) (time.Time, error) {
 	// accept a second one ("--1").
 	usec, err := strconv.ParseUint(intPart, 10, 63)
 	if err != nil {
+		//nyquist:allow-alloc error path: a malformed timestamp bails the line off the fast path
 		return time.Time{}, fmt.Errorf("%q is not a representable Unix-seconds timestamp", s)
 	}
 	sec := int64(usec)
@@ -658,6 +664,7 @@ func timeFromUnixSeconds(s string) (time.Time, error) {
 		}
 		uns, err := strconv.ParseUint(frac, 10, 63)
 		if err != nil {
+			//nyquist:allow-alloc error path: a malformed timestamp bails the line off the fast path
 			return time.Time{}, fmt.Errorf("%q is not a representable Unix-seconds timestamp", s)
 		}
 		ns = int64(uns)

@@ -34,6 +34,8 @@ import (
 // before the buffer can be recycled. This is what keeps the fast path at
 // zero allocations per line — string(tok) at these call sites was one
 // heap copy per number parsed.
+//
+//nyquist:view
 func viewString(b []byte) string {
 	if len(b) == 0 {
 		return ""
@@ -51,6 +53,9 @@ type fastLine struct {
 
 // fastParseLine attempts the fast path on one trimmed, non-empty line.
 // ok=false means "fall back to encoding/json", not "reject the line".
+//
+//nyquist:hotpath
+//nyquist:view
 func fastParseLine(line []byte) (out fastLine, ok bool) {
 	p := lineParser{b: line}
 	p.space()
@@ -82,6 +87,7 @@ func fastParseLine(line []byte) (out fastLine, ok bool) {
 				return out, false
 			}
 			if s, sok := p.simpleString(); sok {
+				//nyquist:allow-alloc RFC3339 string timestamps take the library parse; the numeric epoch shape is the zero-alloc case
 				t, err := time.Parse(time.RFC3339Nano, viewString(s))
 				if err != nil {
 					return out, false
@@ -162,6 +168,8 @@ func (p *lineParser) eat(c byte) bool {
 // rewrites bad bytes to U+FFFD, and taking them raw here would store the
 // same line under a different series name than the slow path (found by
 // FuzzIngestLine). The slow path knows the full grammar.
+//
+//nyquist:view
 func (p *lineParser) simpleString() ([]byte, bool) {
 	if p.i >= len(p.b) || p.b[p.i] != '"' {
 		return nil, false
@@ -189,6 +197,8 @@ func (p *lineParser) simpleString() ([]byte, bool) {
 // "5.", "01", "Inf" — and the fast path must not become a second
 // dialect where those forms sneak through, so anything outside the JSON
 // grammar bails to the slow path (which rejects the whole line).
+//
+//nyquist:view
 func (p *lineParser) number() ([]byte, bool) {
 	start := p.i
 	for p.i < len(p.b) {

@@ -79,6 +79,7 @@ func (it *interner) intern(b []byte) string {
 	if ok {
 		return id
 	}
+	//nyquist:allow-alloc first sight of a series name pays one copy; every later hit returns the interned string
 	return it.internString(string(b))
 }
 
@@ -152,6 +153,7 @@ func putIngestBatch(b *ingestBatch) {
 	// Shed request-sized growth (a single huge line) so the pool holds
 	// only steady-state buffers.
 	if len(b.buf) > 4*ingestReadChunk {
+		//nyquist:allow-alloc shedding request-sized growth; steady-state batches reuse the pooled buffer
 		b.buf = make([]byte, ingestReadChunk)
 	}
 	clear(b.pts) // drop string references before pooling
@@ -210,6 +212,8 @@ func (b *ingestBatch) countSeries(resp *IngestResponse) {
 // handler turns *http.MaxBytesError into the 413 contract); every other
 // read failure is folded into the response as a rejected line, exactly
 // like the per-line path did.
+//
+//nyquist:hotpath
 func (s *Server) runIngest(body io.Reader, resp *IngestResponse, tally *ingestTally) error {
 	b := getIngestBatch()
 	defer putIngestBatch(b)
@@ -231,6 +235,7 @@ func (s *Server) runIngest(body io.Reader, resp *IngestResponse, tally *ingestTa
 				// One line larger than the whole buffer: grow. Bounded in
 				// practice by MaxBodyBytes — the same envelope the old
 				// per-line ReadBytes accumulation had.
+				//nyquist:allow-alloc grows only when one line exceeds the whole read buffer, bounded by MaxBodyBytes
 				nb := make([]byte, 2*len(b.buf))
 				copy(nb, b.buf[:end])
 				b.buf = nb
@@ -310,11 +315,14 @@ func (s *Server) ingestLine(b *ingestBatch, line []byte, lineNo int32, tally *in
 		}
 		tally.fallback++
 		var in IngestLine
+		//nyquist:allow-alloc json fallback: lines the fast parser bails on take encoding/json
 		if jerr := json.Unmarshal(line, &in); jerr != nil {
+			//nyquist:allow-alloc reject path: the reason string is built once per rejected line
 			b.addReject(lineNo, "bad JSON: "+jerr.Error())
 			tally.rejBadJSON++
 			return
 		}
+		//nyquist:allow-alloc json fallback: validation of a line the fast parser already bailed on
 		p, perr := in.point()
 		if perr != nil {
 			b.addReject(lineNo, perr.Error())
@@ -365,6 +373,7 @@ func (s *Server) flushChunk(b *ingestBatch, resp *IngestResponse, tally *ingestT
 	for ; ri < len(b.rejects); ri++ {
 		resp.reject(int(b.rejects[ri].line), b.rejects[ri].reason)
 	}
+	//nyquist:allow-alloc estimator feed runs once per flushed chunk, amortized over its points
 	s.feedEstimator(b, resp, tally)
 	b.pts = b.pts[:0]
 	b.meta = b.meta[:0]

@@ -54,11 +54,17 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Handler returns the GET /metrics handler.
-func (r *Registry) Handler() http.Handler {
+// Handler returns the GET /metrics handler. A failed render cannot be
+// reported to the scraper (the status line is already committed by the
+// first write), so the error is handed to onWriteErr — the server
+// counts it into nyquistd_http_write_errors_total — instead of being
+// dropped. A nil onWriteErr is allowed for callers with no counter.
+func (r *Registry) Handler(onWriteErr func(error)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = r.WriteProm(w)
+		if err := r.WriteProm(w); err != nil && onWriteErr != nil {
+			onWriteErr(err)
+		}
 	})
 }
 

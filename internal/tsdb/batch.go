@@ -71,12 +71,15 @@ func (sc *batchScratch) size(points, shards int) {
 // exactly. Points of distinct series interleave differently than a
 // sequential loop would (shard by shard instead of arrival order), which
 // no contract observes: series are independent everywhere downstream.
+//
+//nyquist:hotpath
 func (db *DB) AppendBatch(pts []BatchPoint) (accepted int) {
 	if len(pts) == 0 {
 		return 0
 	}
 	shards := uint32(len(db.shards))
 	sc := batchScratchPool.Get().(*batchScratch)
+	//nyquist:allow-alloc pooled scratch grows to the largest batch seen, then is reused
 	sc.size(len(pts), int(shards))
 	for i := range pts {
 		s := fnv32a(pts[i].ID) % shards

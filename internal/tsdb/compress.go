@@ -136,9 +136,11 @@ func (c *compPoints) push(p series.Point) []series.Point {
 	c.active = append(c.active, p)
 	c.n++
 	if len(c.active) >= c.blockLen {
+		//nyquist:allow-alloc seal fires once per blockLen points; its cost amortizes to ~0 per append
 		c.seal()
 	}
 	if c.capacity > 0 && c.n > c.capacity && len(c.segs) > 0 {
+		//nyquist:allow-alloc eviction happens at capacity, once per sealed block
 		return c.evictOldest()
 	}
 	return nil
@@ -353,9 +355,11 @@ func (c *compBuckets) push(b bucket) []bucket {
 	c.active = append(c.active, b)
 	c.n++
 	if len(c.active) >= c.blockLen {
+		//nyquist:allow-alloc seal fires once per blockLen buckets; its cost amortizes to ~0 per append
 		c.seal()
 	}
 	if c.capacity > 0 && c.n > c.capacity && len(c.segs) > 0 {
+		//nyquist:allow-alloc eviction happens at capacity, once per sealed block
 		return c.evictOldest()
 	}
 	return nil

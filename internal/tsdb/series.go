@@ -305,6 +305,7 @@ func (m *memSeries) append(p series.Point, rc *RetentionConfig, strict bool) err
 // compact cascades one evicted raw point into the first tier (or counts
 // it dropped when tiers are disabled).
 func (m *memSeries) compact(p series.Point, rc *RetentionConfig) {
+	//nyquist:allow-alloc tier arrays are built on a series' first compaction, then reused for its lifetime
 	m.ensureTiers(rc)
 	if len(m.tiers) == 0 {
 		m.dropped++
@@ -316,6 +317,8 @@ func (m *memSeries) compact(p series.Point, rc *RetentionConfig) {
 
 // ingest folds b into tier k's current bucket, finalizing (and possibly
 // cascading to tier k+1) when b opens a later interval on the tier grid.
+//
+//nyquist:hotpath
 func (m *memSeries) ingest(k int, b bucket) {
 	t := m.tiers[k]
 	if !t.curSet {

@@ -188,6 +188,11 @@ func (db *DB) hook() SealHook {
 func (db *DB) Strict() bool { return db.cfg.StrictAppend }
 
 type shard struct {
+	// mu guards series membership and everything a memSeries holds.
+	// It is the ingest hot path's contention point: code holding it
+	// must not block, do I/O, or re-enter the DB (lockdiscipline).
+	//
+	//nyquist:hotlock
 	mu     sync.RWMutex
 	series map[string]*memSeries
 	// cache is the shard's decoded-block LRU (nil = disabled). It has its
@@ -237,6 +242,7 @@ func (db *DB) shardFor(id string) *shard {
 func (sh *shard) getOrCreate(id string, rc *RetentionConfig) *memSeries {
 	m := sh.series[id]
 	if m == nil {
+		//nyquist:allow-alloc first sight of a series: creation is the cold branch, the map hit is the hot one
 		m = newMemSeries(rc)
 		sh.series[id] = m
 	}

@@ -196,6 +196,12 @@ func Open(dir string, store *monitor.Store, est *monitor.IngestEstimator, opts O
 	store.DB().OnSeal(func(id string, blk tsdb.Block) {
 		e := enc{}
 		encodeBlockRec(&e, blockRec{id: id, blk: blk})
+		// Append counts every failure — including append-after-close —
+		// into LogStats.Errors, so a dropped block record surfaces as
+		// degraded durability in /metrics and the scrub report. Under
+		// the shard lock there is nothing else safe to do with the
+		// error: no I/O, no logging, no re-entering the store.
+		//nyquist:allow-discard Append self-counts failures into LogStats.Errors; the seal hook runs under the shard lock
 		_ = d.log.Append(recBlock, e.b)
 	})
 	go d.background()

@@ -265,7 +265,10 @@ func (l *Log) Append(typ byte, payload []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		return os.ErrClosed
+		// A record offered after Close (a seal racing shutdown) is a
+		// record the WAL does not hold: count it as degraded
+		// durability, not just a caller error.
+		return l.noteErr(os.ErrClosed)
 	}
 	if err := frame(l.w, typ, payload); err != nil {
 		return l.noteErr(err)

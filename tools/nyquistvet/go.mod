@@ -1,0 +1,8 @@
+module repro/tools/nyquistvet
+
+go 1.24
+
+require (
+	golang.org/x/sync v0.10.0
+	golang.org/x/tools v0.28.1-0.20250131145412-98746475647e
+)

@@ -1,0 +1,12 @@
+package errdiscipline_test
+
+import (
+	"testing"
+
+	"repro/tools/nyquistvet/internal/analyzers/errdiscipline"
+	"repro/tools/nyquistvet/internal/vettest"
+)
+
+func TestErrDiscipline(t *testing.T) {
+	vettest.Run(t, "testdata", errdiscipline.Analyzer, "errdisc")
+}

@@ -1,0 +1,32 @@
+// Package errdisc exercises the errdiscipline analyzer.
+package errdisc
+
+import (
+	"http"
+	"tsdb"
+	"wal"
+)
+
+func appends(db *tsdb.DB, l *wal.Log) {
+	db.Append("a", 1)     // want `error from tsdb.DB.Append discarded`
+	_ = db.Append("a", 2) // want `error from tsdb.DB.Append assigned to _`
+	db.AppendUniform("u") // want `error from tsdb.DB.AppendUniform discarded`
+	_ = l.Append(1, nil)  // want `error from wal.Log.Append assigned to _`
+	defer l.Sync()        // want `error from deferred wal.Log.Sync discarded`
+	go db.Append("b", 3)  // want `error from go tsdb.DB.Append discarded`
+
+	if err := db.Append("c", 4); err != nil {
+		_ = err
+	}
+	//nyquist:allow-discard replay path re-reports through LogStats
+	_ = l.Append(2, nil)
+}
+
+func writes(w http.ResponseWriter, b []byte) int {
+	w.Write(b)         // want `error from http.ResponseWriter.Write discarded`
+	n, _ := w.Write(b) // want `error from http.ResponseWriter.Write assigned to _`
+	if _, err := w.Write(b); err != nil {
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,7 @@
+// Package http stubs the net/http ResponseWriter shape for
+// errdiscipline fixtures (interface methods match like concrete ones).
+package http
+
+type ResponseWriter interface {
+	Write(b []byte) (int, error)
+}

@@ -1,0 +1,8 @@
+// Package tsdb stubs the store surface for errdiscipline fixtures;
+// matching is by package, receiver, and method name.
+package tsdb
+
+type DB struct{}
+
+func (db *DB) Append(id string, v float64) error { return nil }
+func (db *DB) AppendUniform(id string) error     { return nil }

@@ -1,0 +1,7 @@
+// Package wal stubs the WAL surface for errdiscipline fixtures.
+package wal
+
+type Log struct{}
+
+func (l *Log) Append(kind byte, b []byte) error { return nil }
+func (l *Log) Sync() error                      { return nil }

@@ -1,0 +1,12 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"repro/tools/nyquistvet/internal/analyzers/hotpathalloc"
+	"repro/tools/nyquistvet/internal/vettest"
+)
+
+func TestHotpathAlloc(t *testing.T) {
+	vettest.Run(t, "testdata", hotpathalloc.Analyzer, "hotpath")
+}

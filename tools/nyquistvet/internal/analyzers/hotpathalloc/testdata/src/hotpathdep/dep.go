@@ -1,0 +1,12 @@
+// Package hotpathdep is an allocating dependency of the hotpath
+// fixture: hotpathalloc exports an "allocates" fact for Alloc, and the
+// downstream hot caller is flagged at its call site.
+package hotpathdep
+
+import "fmt"
+
+func Alloc() string {
+	return fmt.Sprintf("dep")
+}
+
+func Clean(x int) int { return x + 1 }

@@ -1,0 +1,12 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"repro/tools/nyquistvet/internal/analyzers/lockdiscipline"
+	"repro/tools/nyquistvet/internal/vettest"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	vettest.Run(t, "testdata", lockdiscipline.Analyzer, "lockdisc")
+}

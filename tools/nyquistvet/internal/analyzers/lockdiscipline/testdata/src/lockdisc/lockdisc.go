@@ -1,0 +1,66 @@
+// Package lockdisc exercises the lockdiscipline analyzer.
+package lockdisc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tsdb"
+)
+
+type shard struct {
+	//nyquist:hotlock
+	mu   sync.Mutex
+	vals []float64
+	ch   chan int
+	// cold is unannotated: holding it is not checked.
+	cold sync.Mutex
+}
+
+func (s *shard) bad(db *tsdb.DB) {
+	s.mu.Lock()
+	time.Sleep(1)     // want `call to time.Sleep \(blocking or I/O\) while mu is held`
+	fmt.Println("x")  // want `call to fmt.Println \(blocking or I/O\) while mu is held`
+	s.ch <- 1         // want `channel send while mu is held`
+	<-s.ch            // want `channel receive while mu is held`
+	db.Append("a", 1) // want `re-entrant call to tsdb.DB.Append while mu is held`
+	s.mu.Unlock()
+	time.Sleep(1) // released: fine
+}
+
+func (s *shard) deferred() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vals = append(s.vals, 1)
+	time.Sleep(1) // want `call to time.Sleep \(blocking or I/O\) while mu is held`
+}
+
+func (s *shard) coldLock() {
+	s.cold.Lock()
+	time.Sleep(1) // unannotated lock: fine
+	s.cold.Unlock()
+}
+
+func (s *shard) nonblockingSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1: // non-blocking: a default case exists
+	default:
+	}
+}
+
+func (s *shard) suppressed() {
+	s.mu.Lock()
+	//nyquist:allow-block drain is bounded by the queue cap
+	s.ch <- 2
+	s.mu.Unlock()
+}
+
+func register(db *tsdb.DB) {
+	db.OnSeal(func(id string) {
+		fmt.Println("sealed", id) // want `call to fmt.Println \(blocking or I/O\) while the OnSeal hook \(runs under the shard lock\) is held`
+		db.Append(id, 0)          // want `re-entrant call to tsdb.DB.Append while the OnSeal hook \(runs under the shard lock\) is held`
+	})
+}

@@ -1,0 +1,10 @@
+// Package tsdb stubs the store surface for lockdiscipline fixtures:
+// exported DB methods are the re-entrancy deny list, and OnSeal hooks
+// run under the shard lock.
+package tsdb
+
+type DB struct{}
+
+func (db *DB) Append(id string, v float64) error { return nil }
+func (db *DB) SealAll() int                      { return 0 }
+func (db *DB) OnSeal(fn func(id string))         {}

@@ -1,0 +1,172 @@
+// Package metrichygiene machine-checks the repo's metric-naming
+// contract at every internal/obs registration site: names are
+// compile-time constants matching ^nyquistd_[a-z0-9_]+$, counters end
+// in _total, gauges and histograms do not, unit-bearing suffixes use
+// the Prometheus base units (_seconds, _bytes — never _ms or _kb),
+// help strings are non-empty constants, and no name is registered
+// twice, in-package or across packages (checked through a package
+// fact carrying each package's registered names).
+package metrichygiene
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"repro/tools/nyquistvet/internal/directive"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "metrichygiene",
+	Doc:       "check internal/obs metric registrations: nyquistd_ prefix, _total counters, base units, unique names, non-empty help",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{(*metricNames)(nil)},
+	Run:       run,
+}
+
+// metricNames records which metric names a package registers, so a
+// downstream package re-registering one is flagged at its site.
+type metricNames struct {
+	Names []string
+}
+
+func (*metricNames) AFact() {}
+
+// registryMethods maps each obs.Registry registration method to its
+// metric family.
+var registryMethods = map[string]string{
+	"Counter":      "counter",
+	"CounterVec":   "counter",
+	"CounterFunc":  "counter",
+	"Gauge":        "gauge",
+	"GaugeVec":     "gauge",
+	"GaugeFunc":    "gauge",
+	"Histogram":    "histogram",
+	"HistogramVec": "histogram",
+}
+
+var nameRe = regexp.MustCompile(`^nyquistd_[a-z0-9_]+$`)
+
+// nonBaseUnits are suffix segments that encode a non-base unit; the
+// Prometheus convention (and DESIGN.md) wants _seconds and _bytes.
+var nonBaseUnits = map[string]bool{
+	"ms": true, "msec": true, "msecs": true, "millis": true, "milliseconds": true,
+	"us": true, "usec": true, "micros": true, "microseconds": true,
+	"ns": true, "nsec": true, "nanos": true, "nanoseconds": true,
+	"sec": true, "secs": true, "minutes": true, "hours": true,
+	"kb": true, "kib": true, "mb": true, "mib": true, "gb": true, "gib": true,
+	"kilobytes": true, "megabytes": true, "gigabytes": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Names registered by dependency packages, from facts.
+	imported := make(map[string]string) // name -> package path
+	for _, pf := range pass.AllPackageFacts() {
+		if mn, ok := pf.Fact.(*metricNames); ok && pf.Package != pass.Pkg {
+			for _, n := range mn.Names {
+				imported[n] = pf.Package.Path()
+			}
+		}
+	}
+
+	local := make(map[string]bool)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if directive.InTestFile(pass.Fset, call.Pos()) {
+			return
+		}
+		fn, _ := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+		if fn == nil || !isRegistryMethod(fn) {
+			return
+		}
+		family := registryMethods[fn.Name()]
+		if len(call.Args) < 2 {
+			return
+		}
+		name, ok := constString(pass, call.Args[0])
+		if !ok {
+			pass.Reportf(call.Args[0].Pos(), "metric name must be a compile-time constant string")
+			return
+		}
+		pos := call.Args[0].Pos()
+		if !nameRe.MatchString(name) || strings.Contains(name, "__") || strings.HasSuffix(name, "_") {
+			pass.Reportf(pos, "metric name %q must match ^nyquistd_[a-z0-9_]+$ (no __ runs, no trailing _)", name)
+		}
+		stem := name
+		if family == "counter" {
+			if !strings.HasSuffix(name, "_total") {
+				pass.Reportf(pos, "counter %q must end in _total", name)
+			}
+			stem = strings.TrimSuffix(name, "_total")
+		} else if strings.HasSuffix(name, "_total") {
+			pass.Reportf(pos, "%s %q must not end in _total (reserved for counters)", family, name)
+		}
+		if i := strings.LastIndex(stem, "_"); i >= 0 {
+			if unit := stem[i+1:]; nonBaseUnits[unit] {
+				pass.Reportf(pos, "metric %q uses non-base unit _%s; use _seconds or _bytes", name, unit)
+			}
+		}
+		if help, ok := constString(pass, call.Args[1]); !ok {
+			pass.Reportf(call.Args[1].Pos(), "metric help must be a compile-time constant string")
+		} else if strings.TrimSpace(help) == "" {
+			pass.Reportf(call.Args[1].Pos(), "metric %q has an empty help string", name)
+		}
+		if local[name] {
+			pass.Reportf(pos, "metric %q registered more than once in this package", name)
+		} else if from, dup := imported[name]; dup {
+			pass.Reportf(pos, "metric %q already registered by %s", name, from)
+		}
+		local[name] = true
+	})
+
+	if len(local) > 0 {
+		names := make([]string, 0, len(local))
+		for n := range local {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		pass.ExportPackageFact(&metricNames{Names: names})
+	}
+	return nil, nil
+}
+
+// isRegistryMethod reports whether fn is a registration method on the
+// obs metrics registry. Matching is by receiver type name and package
+// name (not full path) so fixture stubs exercise the same shape.
+func isRegistryMethod(fn *types.Func) bool {
+	if _, ok := registryMethods[fn.Name()]; !ok {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Name() == "obs"
+}
+
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

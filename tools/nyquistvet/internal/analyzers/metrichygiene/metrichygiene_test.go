@@ -1,0 +1,12 @@
+package metrichygiene_test
+
+import (
+	"testing"
+
+	"repro/tools/nyquistvet/internal/analyzers/metrichygiene"
+	"repro/tools/nyquistvet/internal/vettest"
+)
+
+func TestMetricHygiene(t *testing.T) {
+	vettest.Run(t, "testdata", metrichygiene.Analyzer, "metrics")
+}

@@ -1,0 +1,26 @@
+// Package metrics exercises the metrichygiene analyzer.
+package metrics
+
+import (
+	"metricsdep"
+	"obs"
+)
+
+var r obs.Registry
+
+func register(dynamic string) {
+	_ = metricsdep.Used
+	r.Counter("nyquistd_ingest_lines_total", "lines ingested")
+	r.Histogram("nyquistd_flush_seconds", "flush latency", nil)
+	r.GaugeFunc("nyquistd_heap_bytes", "heap in use", func() float64 { return 0 })
+
+	r.Counter("nyquistd_drops", "dropped")               // want `counter "nyquistd_drops" must end in _total`
+	r.Gauge("nyquistd_queue_depth_total", "depth")       // want `gauge "nyquistd_queue_depth_total" must not end in _total`
+	r.Histogram("nyquistd_seal_ms", "seal latency", nil) // want `uses non-base unit _ms`
+	r.Counter("httpd_requests_total", "requests")        // want `must match`
+	r.Counter("nyquistd_Bad_total", "bad case")          // want `must match`
+	r.Gauge("nyquistd_live_series", "")                  // want `empty help string`
+	r.Counter("nyquistd_ingest_lines_total", "dup")      // want `registered more than once in this package`
+	r.Counter("nyquistd_dep_ticks_total", "dup of dep")  // want `already registered by metricsdep`
+	r.Counter(dynamic, "dynamic name")                   // want `must be a compile-time constant`
+}

@@ -1,0 +1,14 @@
+// Package metricsdep registers one metric so the cross-package
+// duplicate check in the metrics fixture has something to collide
+// with.
+package metricsdep
+
+import "obs"
+
+var Used = 0
+
+var r obs.Registry
+
+func init() {
+	r.Counter("nyquistd_dep_ticks_total", "ticks emitted by the dep package")
+}

@@ -1,0 +1,84 @@
+// Package view exercises the unsafeview analyzer. The ingest function
+// reproduces the PR 6 invalid-UTF-8 fast-path escape shape: a
+// zero-copy view of the request buffer stored into package state that
+// outlives the batch.
+package view
+
+import (
+	"unsafe"
+
+	"viewdep"
+)
+
+var index = map[string]int{}
+var lastName string
+var sink []byte
+var ch = make(chan string, 1)
+
+//nyquist:view
+func viewString(b []byte) string {
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
+//nyquist:view
+func parseName(line []byte) string {
+	i := 0
+	for i < len(line) && line[i] != ' ' {
+		i++
+	}
+	return viewString(line[:i])
+}
+
+func ingest(line []byte) {
+	name := parseName(line)
+	lastName = name        // want `zero-copy view stored in package-level variable lastName`
+	index[name] = 1        // want `zero-copy view used as a map key`
+	index[clone(name)] = 1 // copy barrier: fine
+}
+
+func clone(s string) string {
+	b := []byte(s)
+	return string(b)
+}
+
+func send(line []byte) {
+	n := parseName(line)
+	ch <- n // want `zero-copy view sent on a channel`
+}
+
+func leak(line []byte) string {
+	n := parseName(line)
+	return n // want `zero-copy view returned from a function not marked //nyquist:view`
+}
+
+func capture(line []byte) func() {
+	n := parseName(line)
+	return func() { lastName = n } // want `zero-copy view captured by function literal`
+}
+
+func retain(s string) { lastName = s }
+
+func callRetainer(line []byte) {
+	n := parseName(line)
+	retain(n) // want `zero-copy view passed to retain, which retains its argument`
+}
+
+func crossPkg(line []byte) {
+	v := viewdep.Sub(line)
+	sink = v                      // want `zero-copy view stored in package-level variable sink`
+	viewdep.Keep(parseName(line)) // want `zero-copy view passed to Keep, which retains its argument`
+}
+
+func suppressed(line []byte) {
+	n := parseName(line)
+	//nyquist:allow-view intern table copies before the batch recycles
+	lastName = n
+}
+
+type rec struct{ name string }
+
+func viaLocalStruct(line []byte) {
+	var r rec
+	r.name = parseName(line) // local carrier: propagates, no escape yet
+	index[r.name] = 1        // want `zero-copy view used as a map key`
+}

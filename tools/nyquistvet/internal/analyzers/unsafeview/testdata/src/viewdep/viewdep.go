@@ -1,0 +1,10 @@
+// Package viewdep provides a cross-package view producer and a
+// retaining sink for the unsafeview fixture's fact-flow cases.
+package viewdep
+
+//nyquist:view
+func Sub(b []byte) []byte { return b[1:] }
+
+var keep string
+
+func Keep(s string) { keep = s }

@@ -1,0 +1,489 @@
+// Package unsafeview tracks the zero-copy views the ingest fast path
+// creates — unsafe.String/unsafe.Slice results and the values returned
+// by functions marked //nyquist:view (fastParseLine and friends) — and
+// reports any place one escapes its batch lifetime: stored into a
+// package-level variable, a struct field or map reachable beyond the
+// function, used as a map key, sent on a channel, captured by a
+// function literal, passed to a goroutine, returned from a function
+// not itself marked //nyquist:view, or passed to a function that
+// retains its argument (determined per-function and exported as a
+// fact, so the intern table — which copies via string(b) before
+// storing — is automatically safe, while a function that stores the
+// parameter itself is not).
+//
+// The tracking is intraprocedural and flow-insensitive on purpose:
+// views propagate through locals, subslices, field reads, and
+// composite literals, and the escape set is the PR 6 postmortem list.
+// Copies (string([]byte), []byte(string), strings.Clone) launder a
+// view back into an owned value. Deliberate escapes carry
+// //nyquist:allow-view <reason>.
+package unsafeview
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"repro/tools/nyquistvet/internal/directive"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "unsafeview",
+	Doc:       "report zero-copy views (unsafe.String / //nyquist:view results) escaping their batch lifetime",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{(*returnsView)(nil), (*retainsParams)(nil)},
+	Run:       run,
+}
+
+// returnsView marks a function whose results are zero-copy views;
+// downstream packages treat its call results as views.
+type returnsView struct{}
+
+func (*returnsView) AFact() {}
+
+// retainsParams records (as a bitmask over parameter indices, capped
+// at 64) which parameters a function stores somewhere that outlives
+// the call. Passing a view to a retaining parameter is an escape.
+type retainsParams struct {
+	Mask uint64
+}
+
+func (*retainsParams) AFact() {}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// Retention facts are only computed for in-module code; a standard
+	// library function that stashes a parameter (time.Parse building a
+	// ParseError, say) is not a view escape the repo can act on.
+	if directive.StdlibPackage(pass) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	dirs := directive.Collect(pass)
+
+	// Pass 1: classify this package's functions — view producers and
+	// parameter retention — and export the facts.
+	viewFns := make(map[*types.Func]bool)
+	retains := make(map[*types.Func]uint64)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		if decl.Body == nil || directive.InTestFile(pass.Fset, decl.Pos()) {
+			return
+		}
+		fn, _ := pass.TypesInfo.Defs[decl.Name].(*types.Func)
+		if fn == nil {
+			return
+		}
+		if directive.FuncMarked(decl, "view") {
+			viewFns[fn] = true
+			pass.ExportObjectFact(fn, &returnsView{})
+		}
+		if mask := retentionMask(pass, decl, fn); mask != 0 {
+			retains[fn] = mask
+			pass.ExportObjectFact(fn, &retainsParams{Mask: mask})
+		}
+	})
+
+	t := &tracker{
+		pass: pass,
+		dirs: dirs,
+		isViewFn: func(fn *types.Func) bool {
+			if viewFns[fn] {
+				return true
+			}
+			var f returnsView
+			return pass.ImportObjectFact(fn, &f)
+		},
+		retainMask: func(fn *types.Func) uint64 {
+			if m, ok := retains[fn]; ok {
+				return m
+			}
+			var f retainsParams
+			if pass.ImportObjectFact(fn, &f) {
+				return f.Mask
+			}
+			return 0
+		},
+	}
+
+	// Pass 2: per function, propagate views and report escapes.
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		if decl.Body == nil || directive.InTestFile(pass.Fset, decl.Pos()) {
+			return
+		}
+		fn, _ := pass.TypesInfo.Defs[decl.Name].(*types.Func)
+		if fn == nil {
+			return
+		}
+		t.checkFunc(decl, fn)
+	})
+	return nil, nil
+}
+
+type tracker struct {
+	pass       *analysis.Pass
+	dirs       *directive.Map
+	isViewFn   func(*types.Func) bool
+	retainMask func(*types.Func) uint64
+
+	// per-function state
+	views  map[*types.Var]bool
+	params map[*types.Var]bool
+	marked bool
+}
+
+func (t *tracker) report(pos token.Pos, what string) {
+	if !t.dirs.Suppressed(t.pass, pos, "allow-view") {
+		t.pass.Reportf(pos, "zero-copy view %s", what)
+	}
+}
+
+func (t *tracker) checkFunc(decl *ast.FuncDecl, fn *types.Func) {
+	t.views = make(map[*types.Var]bool)
+	t.params = make(map[*types.Var]bool)
+	t.marked = t.isViewFn(fn)
+	sig := fn.Type().(*types.Signature)
+	if r := sig.Recv(); r != nil {
+		t.params[r] = true
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		t.params[sig.Params().At(i)] = true
+	}
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure capturing a view may run after the batch is
+			// recycled; report captures at their use sites.
+			ast.Inspect(n.Body, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok {
+					if v, ok := t.pass.TypesInfo.Uses[id].(*types.Var); ok && t.views[v] {
+						t.report(id.Pos(), "captured by function literal")
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.AssignStmt:
+			t.handleAssign(n)
+		case *ast.SendStmt:
+			if t.isView(n.Value) {
+				t.report(n.Value.Pos(), "sent on a channel")
+			}
+		case *ast.GoStmt:
+			for _, arg := range n.Call.Args {
+				if t.isView(arg) {
+					t.report(arg.Pos(), "passed to a goroutine")
+				}
+			}
+		case *ast.ReturnStmt:
+			if !t.marked {
+				for _, res := range n.Results {
+					if t.isView(res) {
+						t.report(res.Pos(), "returned from a function not marked //nyquist:view")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			t.checkCallArgs(n)
+		}
+		return true
+	})
+}
+
+// handleAssign propagates views into locals and reports stores whose
+// destination outlives the batch.
+func (t *tracker) handleAssign(as *ast.AssignStmt) {
+	// Map keys escape independently of the assigned value:
+	// index[view] = x retains the view as the key.
+	for _, lhs := range as.Lhs {
+		if ix, ok := lhs.(*ast.IndexExpr); ok && t.isView(ix.Index) {
+			if base := t.localBase(ix.X); base != nil {
+				t.views[base] = true
+			} else {
+				t.report(ix.Index.Pos(), "used as a map key")
+			}
+		}
+	}
+
+	// Multi-value call: ln, ok := fastParseLine(b)
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		if call, ok := as.Rhs[0].(*ast.CallExpr); ok && t.isViewCall(call) {
+			for _, lhs := range as.Lhs {
+				t.assignViewTo(lhs)
+			}
+		}
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) || !t.isView(rhs) {
+			continue
+		}
+		t.assignViewTo(as.Lhs[i])
+	}
+}
+
+// assignViewTo classifies one LHS receiving a view value.
+func (t *tracker) assignViewTo(lhs ast.Expr) {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return
+		}
+		v := t.objOf(lhs)
+		if v == nil {
+			return
+		}
+		if v.Parent() == t.pass.Pkg.Scope() {
+			t.report(lhs.Pos(), "stored in package-level variable "+lhs.Name)
+			return
+		}
+		t.views[v] = true
+	case *ast.SelectorExpr:
+		if base := t.localBase(lhs.X); base != nil {
+			t.views[base] = true
+		} else {
+			t.report(lhs.Pos(), "stored in field "+lhs.Sel.Name+", escaping the batch lifetime")
+		}
+	case *ast.IndexExpr:
+		if base := t.localBase(lhs.X); base != nil {
+			t.views[base] = true
+		} else {
+			t.report(lhs.Pos(), "stored in a map or slice element, escaping the batch lifetime")
+		}
+	case *ast.StarExpr:
+		t.report(lhs.Pos(), "stored through a pointer, escaping the batch lifetime")
+	}
+}
+
+// checkCallArgs reports views passed to parameters the callee retains.
+func (t *tracker) checkCallArgs(call *ast.CallExpr) {
+	fn, _ := typeutil.Callee(t.pass.TypesInfo, call).(*types.Func)
+	if fn == nil {
+		return
+	}
+	mask := t.retainMask(fn)
+	if mask == 0 {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	for i, arg := range call.Args {
+		if !t.isView(arg) {
+			continue
+		}
+		bit := i
+		if sig.Variadic() && bit >= sig.Params().Len() {
+			bit = sig.Params().Len() - 1
+		}
+		if bit < 64 && mask&(1<<uint(bit)) != 0 {
+			t.report(arg.Pos(), "passed to "+fn.Name()+", which retains its argument")
+		}
+	}
+}
+
+// isView reports whether the expression yields zero-copy view data.
+func (t *tracker) isView(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return t.isView(e.X)
+	case *ast.Ident:
+		v, _ := t.pass.TypesInfo.Uses[e].(*types.Var)
+		return v != nil && t.views[v]
+	case *ast.SelectorExpr:
+		return t.isView(e.X)
+	case *ast.SliceExpr:
+		return t.isView(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return t.isView(e.X)
+		}
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if t.isView(elt) {
+				return true
+			}
+		}
+	case *ast.CallExpr:
+		return t.isViewCall(e)
+	}
+	return false
+}
+
+// isViewCall reports whether a call produces a view: the unsafe
+// builtins, or a function carrying the view mark/fact. Conversions
+// (string([]byte) etc.) copy, so they launder views.
+func (t *tracker) isViewCall(call *ast.CallExpr) bool {
+	switch callee := typeutil.Callee(t.pass.TypesInfo, call).(type) {
+	case *types.Builtin:
+		switch callee.Name() {
+		case "String", "Slice", "SliceData", "StringData":
+			return true
+		}
+	case *types.Func:
+		return t.isViewFn(callee)
+	}
+	return false
+}
+
+// localBase returns the root variable of a selector/index chain when
+// it is a plain local (not a parameter, receiver, or package-level
+// variable); views stored into locals propagate instead of escaping.
+func (t *tracker) localBase(e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			v, _ := t.pass.TypesInfo.Uses[x].(*types.Var)
+			if v == nil || t.params[v] || v.Parent() == t.pass.Pkg.Scope() {
+				return nil
+			}
+			return v
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func (t *tracker) objOf(id *ast.Ident) *types.Var {
+	if v, ok := t.pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := t.pass.TypesInfo.Uses[id].(*types.Var)
+	return v
+}
+
+// retentionMask computes which of fn's parameters escape the call:
+// stored into globals, fields, map/slice elements or keys, sent on
+// channels, passed to goroutines, or captured by closures. Conversions
+// are a copy barrier — string(b) inside the intern table does not
+// retain b itself.
+func retentionMask(pass *analysis.Pass, decl *ast.FuncDecl, fn *types.Func) uint64 {
+	sig := fn.Type().(*types.Signature)
+	paramBit := make(map[*types.Var]int)
+	for i := 0; i < sig.Params().Len() && i < 64; i++ {
+		p := sig.Params().At(i)
+		if typeCarries(p.Type()) {
+			paramBit[p] = i
+		}
+	}
+	if len(paramBit) == 0 {
+		return 0
+	}
+	var mask uint64
+	// mark sets the bit for every parameter referenced in e outside a
+	// call (calls copy or are themselves analyzed for retention).
+	mark := func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				return false
+			case *ast.Ident:
+				if v, ok := pass.TypesInfo.Uses[n].(*types.Var); ok {
+					if bit, ok := paramBit[v]; ok {
+						mask |= 1 << uint(bit)
+					}
+				}
+			}
+			return true
+		})
+	}
+	lhsEscapes := func(lhs ast.Expr) bool {
+		switch lhs := lhs.(type) {
+		case *ast.Ident:
+			v, _ := pass.TypesInfo.Uses[lhs].(*types.Var)
+			return v != nil && v.Parent() == pass.Pkg.Scope()
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			return true
+		}
+		return false
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if ix, ok := lhs.(*ast.IndexExpr); ok {
+					mark(ix.Index) // map key retention
+				}
+				if !lhsEscapes(lhs) {
+					continue
+				}
+				if len(n.Lhs) == len(n.Rhs) {
+					mark(n.Rhs[i])
+				} else {
+					for _, rhs := range n.Rhs {
+						mark(rhs)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			mark(n.Value)
+		case *ast.GoStmt:
+			for _, arg := range n.Call.Args {
+				mark(arg)
+			}
+		case *ast.FuncLit:
+			ast.Inspect(n.Body, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok {
+					if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+						if bit, ok := paramBit[v]; ok {
+							mask |= 1 << uint(bit)
+						}
+					}
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+	return mask
+}
+
+// typeCarries reports whether t contains string or []byte data at any
+// depth — the only types a view can hide in.
+func typeCarries(t types.Type) bool {
+	return carries(t, 0)
+}
+
+func carries(t types.Type, depth int) bool {
+	if depth > 8 {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	case *types.Slice:
+		if b, ok := u.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Uint8 {
+			return true
+		}
+		return carries(u.Elem(), depth+1)
+	case *types.Array:
+		return carries(u.Elem(), depth+1)
+	case *types.Pointer:
+		return carries(u.Elem(), depth+1)
+	case *types.Map:
+		return carries(u.Key(), depth+1) || carries(u.Elem(), depth+1)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if carries(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	}
+	return false
+}

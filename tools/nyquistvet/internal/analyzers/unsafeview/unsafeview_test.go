@@ -1,0 +1,12 @@
+package unsafeview_test
+
+import (
+	"testing"
+
+	"repro/tools/nyquistvet/internal/analyzers/unsafeview"
+	"repro/tools/nyquistvet/internal/vettest"
+)
+
+func TestUnsafeView(t *testing.T) {
+	vettest.Run(t, "testdata", unsafeview.Analyzer, "view")
+}

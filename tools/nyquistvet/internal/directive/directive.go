@@ -1,0 +1,173 @@
+// Package directive parses the //nyquist: comment directives the
+// nyquistvet analyzers act on. Directives follow the Go toolchain's
+// machine-directive syntax (`//tool:name args`, no space after the
+// slashes) so gofmt preserves them and godoc hides them:
+//
+//	//nyquist:hotpath        — on a function: it and its in-module
+//	                           callees must not allocate
+//	//nyquist:view           — on a function: it returns zero-copy
+//	                           view data (unsafe.String / subslices of
+//	                           a caller-owned buffer); callers inherit
+//	                           the lifetime obligation
+//	//nyquist:hotlock        — on a mutex struct field: code holding
+//	                           this lock must not block, do I/O, or
+//	                           re-enter the store
+//	//nyquist:allow-alloc <reason>   — suppress one hotpathalloc site
+//	//nyquist:allow-view <reason>    — suppress one unsafeview site
+//	//nyquist:allow-block <reason>   — suppress one lockdiscipline site
+//	//nyquist:allow-discard <reason> — suppress one errdiscipline site
+//
+// The allow-* forms require a non-empty reason: an unexplained
+// suppression is itself reported. A suppression applies to the source
+// line it sits on, or — as a full-line comment — to the line
+// immediately below it.
+package directive
+
+import (
+	"go/ast"
+	"go/build"
+	"go/token"
+	"path/filepath"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Prefix is the directive namespace, including the trailing colon.
+const Prefix = "nyquist:"
+
+// Directive is one parsed //nyquist: comment.
+type Directive struct {
+	// Name is the directive verb ("hotpath", "allow-alloc", ...).
+	Name string
+	// Reason is the free text after the verb (required for allow-*).
+	Reason string
+	// Pos is the comment's position.
+	Pos token.Pos
+}
+
+// parse extracts a directive from one comment, if it is one.
+func parse(c *ast.Comment) (Directive, bool) {
+	rest, ok := strings.CutPrefix(c.Text, "//"+Prefix)
+	if !ok {
+		return Directive{}, false
+	}
+	name, reason, _ := strings.Cut(rest, " ")
+	if name == "" {
+		return Directive{}, false
+	}
+	return Directive{Name: name, Reason: strings.TrimSpace(reason), Pos: c.Pos()}, true
+}
+
+// FuncMarked reports whether fn's doc comment carries the named
+// directive.
+func FuncMarked(fn *ast.FuncDecl, name string) bool {
+	return groupMarked(fn.Doc, name)
+}
+
+// FieldMarked reports whether the struct field carries the named
+// directive, in its doc comment or its trailing line comment.
+func FieldMarked(f *ast.Field, name string) bool {
+	return groupMarked(f.Doc, name) || groupMarked(f.Comment, name)
+}
+
+func groupMarked(g *ast.CommentGroup, name string) bool {
+	if g == nil {
+		return false
+	}
+	for _, c := range g.List {
+		if d, ok := parse(c); ok && d.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Map indexes every directive of a package by file and line, for
+// line-level suppression lookups.
+type Map struct {
+	fset   *token.FileSet
+	byLine map[lineKey][]Directive
+	// emptyReported dedupes the "needs a reason" diagnostic per
+	// directive comment.
+	emptyReported map[token.Pos]bool
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// Collect gathers every //nyquist: directive in the package under
+// analysis.
+func Collect(pass *analysis.Pass) *Map {
+	m := &Map{
+		fset:          pass.Fset,
+		byLine:        make(map[lineKey][]Directive),
+		emptyReported: make(map[token.Pos]bool),
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if d, ok := parse(c); ok {
+					p := pass.Fset.Position(c.Pos())
+					k := lineKey{p.Filename, p.Line}
+					m.byLine[k] = append(m.byLine[k], d)
+				}
+			}
+		}
+	}
+	return m
+}
+
+// Suppressed reports whether a diagnostic at pos is suppressed by the
+// named allow-* directive (same line, or a full-line comment on the
+// line above). A suppression with an empty reason still suppresses —
+// the author's intent is clear — but the missing reason is reported
+// once at the directive itself.
+func (m *Map) Suppressed(pass *analysis.Pass, pos token.Pos, name string) bool {
+	p := m.fset.Position(pos)
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, d := range m.byLine[lineKey{p.Filename, line}] {
+			if d.Name != name {
+				continue
+			}
+			if d.Reason == "" && !m.emptyReported[d.Pos] {
+				m.emptyReported[d.Pos] = true
+				pass.Reportf(pos, "nyquist:%s suppression needs a reason", name)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// StdlibPackage reports whether the package under analysis is part of
+// the Go standard library (its sources live under GOROOT/src). Under
+// `go vet -vettool`, the driver runs every analyzer over the full
+// dependency graph, standard library included; fact-exporting
+// analyzers skip those packages so that a once-ever slow path inside,
+// say, sync.Pool.Get or an error path inside strconv does not export
+// an "allocates"/"retains" fact that poisons every caller. Standard
+// library behavior is modeled by each analyzer's explicit deny-lists
+// instead.
+func StdlibPackage(pass *analysis.Pass) bool {
+	if len(pass.Files) == 0 {
+		return false
+	}
+	goroot := build.Default.GOROOT
+	if goroot == "" {
+		return false
+	}
+	f := pass.Fset.Position(pass.Files[0].Pos()).Filename
+	src := filepath.Join(goroot, "src") + string(filepath.Separator)
+	return strings.HasPrefix(f, src)
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The
+// invariants nyquistvet enforces are production contracts; tests
+// deliberately violate them (allocation counters, hostile inputs) and
+// are exempt wholesale.
+func InTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

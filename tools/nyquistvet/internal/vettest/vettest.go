@@ -1,0 +1,309 @@
+// Package vettest is a self-contained analysistest replacement: it
+// loads fixture packages from a testdata/src tree, type-checks them
+// (resolving standard-library imports from GOROOT source), runs an
+// analyzer — including its Requires chain and fact flow across fixture
+// packages — and compares the diagnostics against `// want "regexp"`
+// comments, analysistest-style.
+//
+// Why not golang.org/x/tools/go/analysis/analysistest: this module is
+// built against the x/tools subset vendored inside the Go distribution
+// (the repo builds with no module proxy), and that subset carries
+// neither analysistest nor go/packages. The harness reimplements the
+// fixture contract — testdata/src layout, `// want` expectations, one
+// expectation per diagnostic per line — on go/types alone.
+package vettest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads each named fixture package from dir/src/<path>, applies a
+// (and its prerequisites) to every fixture package reachable from
+// them, and checks the named packages' diagnostics against their
+// `// want` comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	l := newLoader(dir)
+	for _, p := range paths {
+		if _, err := l.load(p); err != nil {
+			t.Fatalf("loading fixture package %q: %v", p, err)
+		}
+	}
+	facts := newFactStore()
+	results := make(map[resultKey]interface{})
+	diags := make(map[string][]analysis.Diagnostic)
+	// l.order is dependency-first, so facts flow like a real build.
+	for _, path := range l.order {
+		lp := l.pkgs[path]
+		runWithDeps(t, a, l, lp, facts, results, diags)
+	}
+	for _, p := range paths {
+		check(t, l, l.pkgs[p], diags[p])
+	}
+}
+
+type resultKey struct {
+	a   *analysis.Analyzer
+	pkg string
+}
+
+// runWithDeps runs a's Requires chain, then a itself, on one package.
+func runWithDeps(t *testing.T, a *analysis.Analyzer, l *loader, lp *loadedPkg, facts *factStore, results map[resultKey]interface{}, diags map[string][]analysis.Diagnostic) {
+	t.Helper()
+	if _, done := results[resultKey{a, lp.path}]; done {
+		return
+	}
+	for _, req := range a.Requires {
+		runWithDeps(t, req, l, lp, facts, results, diags)
+	}
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       l.fset,
+		Files:      lp.files,
+		Pkg:        lp.pkg,
+		TypesInfo:  lp.info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   make(map[*analysis.Analyzer]interface{}),
+		Report: func(d analysis.Diagnostic) {
+			diags[lp.path] = append(diags[lp.path], d)
+		},
+		ReadFile: os.ReadFile,
+	}
+	for _, req := range a.Requires {
+		pass.ResultOf[req] = results[resultKey{req, lp.path}]
+	}
+	facts.bind(pass)
+	res, err := a.Run(pass)
+	if err != nil {
+		t.Fatalf("%s on %s: %v", a.Name, lp.path, err)
+	}
+	results[resultKey{a, lp.path}] = res
+}
+
+// loader resolves fixture packages from testdata/src, delegating
+// everything else to a GOROOT source importer sharing the same fset.
+type loader struct {
+	fset   *token.FileSet
+	srcdir string
+	std    types.ImporterFrom
+	pkgs   map[string]*loadedPkg
+	order  []string // load-completion order: dependencies first
+}
+
+type loadedPkg struct {
+	path  string
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+func newLoader(dir string) *loader {
+	l := &loader{
+		fset:   token.NewFileSet(),
+		srcdir: filepath.Join(dir, "src"),
+		pkgs:   make(map[string]*loadedPkg),
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil).(types.ImporterFrom)
+	return l
+}
+
+// Import implements types.Importer for the checker's import callbacks.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir := filepath.Join(l.srcdir, path); isDir(dir) {
+		lp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	return l.std.ImportFrom(path, "", 0)
+}
+
+func isDir(p string) bool {
+	fi, err := os.Stat(p)
+	return err == nil && fi.IsDir()
+}
+
+// load parses and type-checks one fixture package (recursively loading
+// fixture dependencies through Import).
+func (l *loader) load(path string) (*loadedPkg, error) {
+	if lp, ok := l.pkgs[path]; ok {
+		return lp, nil
+	}
+	dir := filepath.Join(l.srcdir, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	cfg := &types.Config{Importer: l}
+	pkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	lp := &loadedPkg{path: path, pkg: pkg, files: files, info: info}
+	l.pkgs[path] = lp
+	l.order = append(l.order, path)
+	return lp, nil
+}
+
+// factStore carries object and package facts across fixture packages,
+// namespaced per fact type like a real driver.
+type factStore struct {
+	obj map[objFactKey]analysis.Fact
+	pkg map[pkgFactKey]analysis.Fact
+}
+
+type objFactKey struct {
+	obj types.Object
+	typ reflect.Type
+}
+
+type pkgFactKey struct {
+	pkg *types.Package
+	typ reflect.Type
+}
+
+func newFactStore() *factStore {
+	return &factStore{
+		obj: make(map[objFactKey]analysis.Fact),
+		pkg: make(map[pkgFactKey]analysis.Fact),
+	}
+}
+
+func (s *factStore) bind(pass *analysis.Pass) {
+	pass.ExportObjectFact = func(obj types.Object, f analysis.Fact) {
+		s.obj[objFactKey{obj, reflect.TypeOf(f)}] = f
+	}
+	pass.ImportObjectFact = func(obj types.Object, f analysis.Fact) bool {
+		got, ok := s.obj[objFactKey{obj, reflect.TypeOf(f)}]
+		if ok {
+			reflect.ValueOf(f).Elem().Set(reflect.ValueOf(got).Elem())
+		}
+		return ok
+	}
+	pass.ExportPackageFact = func(f analysis.Fact) {
+		s.pkg[pkgFactKey{pass.Pkg, reflect.TypeOf(f)}] = f
+	}
+	pass.ImportPackageFact = func(pkg *types.Package, f analysis.Fact) bool {
+		got, ok := s.pkg[pkgFactKey{pkg, reflect.TypeOf(f)}]
+		if ok {
+			reflect.ValueOf(f).Elem().Set(reflect.ValueOf(got).Elem())
+		}
+		return ok
+	}
+	pass.AllObjectFacts = func() []analysis.ObjectFact {
+		var out []analysis.ObjectFact
+		for k, f := range s.obj {
+			out = append(out, analysis.ObjectFact{Object: k.obj, Fact: f})
+		}
+		return out
+	}
+	pass.AllPackageFacts = func() []analysis.PackageFact {
+		var out []analysis.PackageFact
+		for k, f := range s.pkg {
+			out = append(out, analysis.PackageFact{Package: k.pkg, Fact: f})
+		}
+		return out
+	}
+}
+
+// expectation is one `// want` pattern, positioned at a source line.
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	text string
+	hit  bool
+}
+
+var wantRe = regexp.MustCompile("(\"(?:[^\"\\\\]|\\\\.)*\")|(`[^`]*`)")
+
+// check compares a package's diagnostics against its want comments.
+func check(t *testing.T, l *loader, lp *loadedPkg, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range lp.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "// want ")
+				if i < 0 {
+					continue
+				}
+				pos := l.fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllString(text[i+len("// want "):], -1) {
+					pat, err := strconv.Unquote(m)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, m, err)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, rx: rx, text: pat})
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := l.fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.rx.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.text)
+		}
+	}
+}

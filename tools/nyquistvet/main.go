@@ -1,0 +1,108 @@
+// Command nyquistvet is the repo's static-analysis gate, run via
+//
+//	go build -C tools/nyquistvet -o nyquistvet .
+//	go vet -vettool=$(pwd)/tools/nyquistvet/nyquistvet ./...
+//
+// It bundles five repo-specific analyzers that machine-check the
+// invariants DESIGN.md records in prose — hotpathalloc, unsafeview,
+// lockdiscipline, metrichygiene, errdiscipline — together with the
+// standard go vet suite (a -vettool replaces the default analyzers, so
+// bundling them keeps one invocation a superset of plain `go vet`).
+//
+// The binary speaks the unitchecker protocol: the go command
+// type-checks each package, writes a JSON description, and invokes
+// this tool once per package; facts flow between packages through the
+// build cache, which is what lets hotpathalloc and unsafeview reason
+// across package boundaries.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"golang.org/x/tools/go/analysis/passes/appends"
+	"golang.org/x/tools/go/analysis/passes/asmdecl"
+	"golang.org/x/tools/go/analysis/passes/assign"
+	"golang.org/x/tools/go/analysis/passes/atomic"
+	"golang.org/x/tools/go/analysis/passes/bools"
+	"golang.org/x/tools/go/analysis/passes/buildtag"
+	"golang.org/x/tools/go/analysis/passes/cgocall"
+	"golang.org/x/tools/go/analysis/passes/composite"
+	"golang.org/x/tools/go/analysis/passes/copylock"
+	"golang.org/x/tools/go/analysis/passes/defers"
+	"golang.org/x/tools/go/analysis/passes/directive"
+	"golang.org/x/tools/go/analysis/passes/errorsas"
+	"golang.org/x/tools/go/analysis/passes/framepointer"
+	"golang.org/x/tools/go/analysis/passes/httpresponse"
+	"golang.org/x/tools/go/analysis/passes/ifaceassert"
+	"golang.org/x/tools/go/analysis/passes/loopclosure"
+	"golang.org/x/tools/go/analysis/passes/lostcancel"
+	"golang.org/x/tools/go/analysis/passes/nilfunc"
+	"golang.org/x/tools/go/analysis/passes/printf"
+	"golang.org/x/tools/go/analysis/passes/shift"
+	"golang.org/x/tools/go/analysis/passes/sigchanyzer"
+	"golang.org/x/tools/go/analysis/passes/slog"
+	"golang.org/x/tools/go/analysis/passes/stdmethods"
+	"golang.org/x/tools/go/analysis/passes/stdversion"
+	"golang.org/x/tools/go/analysis/passes/stringintconv"
+	"golang.org/x/tools/go/analysis/passes/structtag"
+	"golang.org/x/tools/go/analysis/passes/testinggoroutine"
+	"golang.org/x/tools/go/analysis/passes/tests"
+	"golang.org/x/tools/go/analysis/passes/timeformat"
+	"golang.org/x/tools/go/analysis/passes/unmarshal"
+	"golang.org/x/tools/go/analysis/passes/unreachable"
+	"golang.org/x/tools/go/analysis/passes/unsafeptr"
+	"golang.org/x/tools/go/analysis/passes/unusedresult"
+
+	"repro/tools/nyquistvet/internal/analyzers/errdiscipline"
+	"repro/tools/nyquistvet/internal/analyzers/hotpathalloc"
+	"repro/tools/nyquistvet/internal/analyzers/lockdiscipline"
+	"repro/tools/nyquistvet/internal/analyzers/metrichygiene"
+	"repro/tools/nyquistvet/internal/analyzers/unsafeview"
+)
+
+func main() {
+	unitchecker.Main(
+		// Repo-specific invariants.
+		hotpathalloc.Analyzer,
+		unsafeview.Analyzer,
+		lockdiscipline.Analyzer,
+		metrichygiene.Analyzer,
+		errdiscipline.Analyzer,
+
+		// The standard `go vet` suite (replaced by -vettool, so
+		// re-bundled here).
+		appends.Analyzer,
+		asmdecl.Analyzer,
+		assign.Analyzer,
+		atomic.Analyzer,
+		bools.Analyzer,
+		buildtag.Analyzer,
+		cgocall.Analyzer,
+		composite.Analyzer,
+		copylock.Analyzer,
+		defers.Analyzer,
+		directive.Analyzer,
+		errorsas.Analyzer,
+		framepointer.Analyzer,
+		httpresponse.Analyzer,
+		ifaceassert.Analyzer,
+		loopclosure.Analyzer,
+		lostcancel.Analyzer,
+		nilfunc.Analyzer,
+		printf.Analyzer,
+		shift.Analyzer,
+		sigchanyzer.Analyzer,
+		slog.Analyzer,
+		stdmethods.Analyzer,
+		stdversion.Analyzer,
+		stringintconv.Analyzer,
+		structtag.Analyzer,
+		testinggoroutine.Analyzer,
+		tests.Analyzer,
+		timeformat.Analyzer,
+		unmarshal.Analyzer,
+		unreachable.Analyzer,
+		unsafeptr.Analyzer,
+		unusedresult.Analyzer,
+	)
+}
